@@ -1,0 +1,57 @@
+/// Ablation: how much of the computed imbalance to actually ship.
+///
+/// Conservative load sharing ships delta/2 ("a light node may be
+/// considered light by everybody"); the paper's over-redistribution
+/// ships beta * delta with beta = S_recv / S_me. This bench sweeps the
+/// conservative factor and the over-redistribution cap with one slow
+/// node. The paper reports filtered beating conservative by up to 39%.
+///
+///   usage: ablation_overredistribution [--phases=600] [--csv=path]
+
+#include "bench_common.hpp"
+#include "cluster/scenario.hpp"
+
+using namespace slipflow;
+using namespace slipflow::cluster;
+
+int main(int argc, char** argv) {
+  const auto opts = util::Options::parse(argc, argv);
+  const int phases = static_cast<int>(opts.get("phases", 600LL));
+  const std::string csv = opts.get("csv", std::string{});
+  (void)csv;
+  bench::check_options(opts);
+
+  util::Table table("Ablation — redistribution aggressiveness, one slow "
+                    "node, " + std::to_string(phases) + " phases");
+  table.header({"scheme", "exec_time_s", "migration_events",
+                "slow_node_planes_end"});
+
+  auto run_one = [&](const std::string& label, const char* policy,
+                     double factor_or_cap) {
+    ClusterConfig cfg = paper::base_config();
+    if (std::string(policy) == "conservative")
+      cfg.balance.conservative_factor = factor_or_cap;
+    else
+      cfg.balance.over_redistribution_cap = factor_or_cap;
+    ClusterSim sim(cfg, balance::RemapPolicy::create(policy));
+    add_fixed_slow_nodes(sim, {paper::kProfiledSlowNode});
+    const auto r = sim.run(phases);
+    table.row({label, r.makespan, r.migration_events,
+               r.profile[paper::kProfiledSlowNode].planes_end});
+  };
+
+  run_one("conservative delta/4", "conservative", 0.25);
+  run_one("conservative delta/2 (paper)", "conservative", 0.5);
+  run_one("conservative delta", "conservative", 1.0);
+  run_one("filtered beta cap 1 (=delta)", "filtered", 1.0);
+  run_one("filtered beta cap 2", "filtered", 2.0);
+  run_one("filtered beta cap 4 (paper-like)", "filtered", 4.0);
+  run_one("filtered beta cap 8", "filtered", 8.0);
+  bench::emit(table, opts);
+
+  std::cout << "expected: aggressive shipping drains the slow node in one "
+               "or two remap rounds and wins; conservative converges "
+               "slowly and keeps the slow node's communication on the "
+               "critical path.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+/// Dedicated-cluster scaling (Section 4.2 text): "With a dedicated
+/// cluster, our parallel code achieves almost full linear speedup when
+/// varying the number of nodes. The speedup is 18.97 with 20 nodes."
+///
+///   usage: ablation_scaling [--phases=600] [--csv=path]
+
+#include "bench_common.hpp"
+#include "cluster/scenario.hpp"
+
+using namespace slipflow;
+using namespace slipflow::cluster;
+
+int main(int argc, char** argv) {
+  const auto opts = util::Options::parse(argc, argv);
+  const int phases = static_cast<int>(opts.get("phases", 600LL));
+  const std::string csv = opts.get("csv", std::string{});
+  (void)csv;
+  bench::check_options(opts);
+
+  util::Table table("Dedicated scaling — speedup vs nodes (" +
+                    std::to_string(phases) + " phases)");
+  table.header({"nodes", "exec_time_s", "speedup", "efficiency"});
+
+  for (int n : {1, 2, 4, 8, 10, 16, 20, 25, 32}) {
+    ClusterSim sim(paper::base_config(n),
+                   balance::RemapPolicy::create("none"));
+    const auto r = sim.run(phases);
+    const double sp = sim.sequential_time(phases) / r.makespan;
+    table.row({static_cast<long long>(n), r.makespan, sp, sp / n});
+  }
+  bench::emit(table, opts);
+
+  std::cout << "paper: almost full linear speedup; 18.97 at 20 nodes.\n";
+  return 0;
+}

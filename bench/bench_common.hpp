@@ -1,0 +1,36 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared plumbing for the figure/table reproduction harnesses: option
+/// handling and uniform output (aligned table to stdout, optional CSV).
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace slipflow::bench {
+
+/// Print the table and, when --csv=<path> was given, also save it.
+inline void emit(const util::Table& table, const util::Options& opts) {
+  table.print(std::cout);
+  const std::string csv = opts.get("csv", std::string{});
+  if (!csv.empty()) {
+    table.save_csv(csv);
+    std::cout << "(csv written to " << csv << ")\n";
+  }
+  std::cout << "\n";
+}
+
+/// Fail fast on mistyped options.
+inline void check_options(const util::Options& opts) {
+  const auto unused = opts.unused_keys();
+  if (!unused.empty()) {
+    std::cerr << "unknown option(s):";
+    for (const auto& k : unused) std::cerr << " --" << k;
+    std::cerr << "\n";
+    std::exit(2);
+  }
+}
+
+}  // namespace slipflow::bench

@@ -1,0 +1,46 @@
+/// Reproduces Figure 3: "Increased time caused by competing jobs."
+///
+/// One node of a 20-node cluster runs a periodic CPU-intensive competing
+/// job (10 s period, busy a sweep of duty-cycle fractions); the parallel
+/// LBM runs 600 phases with NO remapping. The paper reports ~250 s at
+/// zero disturbance, a near-linear overhead increase up to ~60% duty
+/// cycle and a sharp increase beyond it (~190% overhead at 100%).
+///
+///   usage: fig03_disturbance [--phases=600] [--nodes=20] [--csv=path]
+
+#include "bench_common.hpp"
+#include "cluster/scenario.hpp"
+
+using namespace slipflow;
+using namespace slipflow::cluster;
+
+int main(int argc, char** argv) {
+  const auto opts = util::Options::parse(argc, argv);
+  const int phases = static_cast<int>(opts.get("phases", 600LL));
+  const int nodes = static_cast<int>(opts.get("nodes", 20LL));
+  const std::string csv = opts.get("csv", std::string{});
+  (void)csv;
+  bench::check_options(opts);
+
+  util::Table table(
+      "Figure 3 — execution time and per-phase overhead vs disturbance "
+      "(1 disturbed node, " + std::to_string(phases) + " phases, no remapping)");
+  table.header({"disturbance", "exec_time_s", "overhead_pct"});
+
+  double baseline = 0.0;
+  for (int pct = 0; pct <= 100; pct += 10) {
+    ClusterSim sim(paper::base_config(nodes),
+                   balance::RemapPolicy::create("none"));
+    if (pct > 0)
+      add_periodic_disturbance(sim, paper::kProfiledSlowNode, pct / 100.0);
+    const double t = sim.run(phases).makespan;
+    if (pct == 0) baseline = t;
+    table.row({pct / 100.0, t, 100.0 * (t - baseline) / baseline});
+  }
+  bench::emit(table, opts);
+
+  std::cout << "paper: ~250 s dedicated; overhead close to linear below "
+               "60% disturbance, sharply increasing after (roughly 190% at "
+               "100%).\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+/// Reproduces Figure 6: fluid densities near the side wall.
+///
+/// Runs the two-component hydrophobic microchannel (paper: 2 x 1 x 0.1
+/// micron at 400x200x20; here a resolution-reduced box with the same
+/// 40:20:2 aspect — see DESIGN.md) and prints the water and air/vapor
+/// density profiles along y at the channel mid-cross-section. The paper
+/// shows water density *decreased* and air density *increased* within
+/// ~40 nm of the wall.
+///
+/// Runs on two ranks of the real parallel code (ThreadComm).
+///
+///   usage: fig06_density_profiles [--ny=20] [--steps=1500] [--ranks=2]
+///                                 [--csv=path]
+
+#include <mutex>
+
+#include "bench_common.hpp"
+#include "lbm/observables.hpp"
+#include "sim/parallel_lbm.hpp"
+#include "transport/thread_comm.hpp"
+
+using namespace slipflow;
+using namespace slipflow::lbm;
+
+int main(int argc, char** argv) {
+  const auto opts = util::Options::parse(argc, argv);
+  const index_t ny = opts.get("ny", 20LL);
+  const int steps = static_cast<int>(opts.get("steps", 1500LL));
+  const int ranks = static_cast<int>(opts.get("ranks", 2LL));
+  const std::string csv = opts.get("csv", std::string{});
+  (void)csv;
+  bench::check_options(opts);
+
+  // Geometry note (DESIGN.md): at reduced resolution the force decay
+  // cannot be made as thin relative to the channel as the paper's
+  // (10-30 nm on a 1 um width). We therefore preserve the paper's
+  // decay-to-depth ratio (~0.25) instead of the raw 10:1 width:depth
+  // aspect; that keeps the top/bottom walls forcing the same fraction of
+  // the depth as in the paper.
+  const Extents grid{2 * ny, ny, std::max<index_t>(ny / 2, 4)};
+  const double nm_per_cell = 1000.0 / static_cast<double>(ny);  // 1 um width
+
+  sim::RunnerConfig cfg;
+  cfg.global = grid;
+  cfg.fluid = FluidParams::microchannel_defaults();
+  cfg.policy = "none";
+
+  std::vector<double> water, air;
+  std::mutex mu;
+  transport::run_ranks(ranks, [&](transport::Communicator& comm) {
+    sim::ParallelLbm run(cfg, comm);
+    run.initialize_uniform();
+    run.run(steps);
+    auto w = run.gather_density_profile_y(0, grid.nx / 2, grid.nz / 2);
+    auto a = run.gather_density_profile_y(1, grid.nx / 2, grid.nz / 2);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      water = std::move(w);
+      air = std::move(a);
+    }
+  });
+
+  util::Table table(
+      "Figure 6 — densities vs distance from the side wall (x = L/2, "
+      "z = mid-depth, " + std::to_string(steps) + " phases)");
+  // The air column is normalized by the *initial* dissolved concentration
+  // (the paper normalizes by standard-condition density); at reduced
+  // resolution the trace gas segregates to the walls more strongly than
+  // in the paper, so bulk-normalization would divide by ~0.
+  table.header({"dist_from_wall_nm", "water_density", "air_density",
+                "water_over_bulk", "air_over_initial"});
+  const double wbulk = water[static_cast<std::size_t>(ny / 2)];
+  const double ainit = cfg.fluid.components[1].init_density;
+  for (index_t j = 0; j <= ny / 2; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    table.row({(static_cast<double>(j) + 0.5) * nm_per_cell, water[ju],
+               air[ju], water[ju] / wbulk, air[ju] / ainit});
+  }
+  bench::emit(table, opts);
+
+  std::cout << "paper (Fig 6): water density decreased and air/vapor "
+               "density increased within ~40 nm of the hydrophobic wall.\n"
+            << "measured: wall water/bulk = " << water.front() / wbulk
+            << ", wall air/initial = " << air.front() / ainit << "\n";
+  return 0;
+}

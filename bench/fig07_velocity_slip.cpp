@@ -1,0 +1,90 @@
+/// Reproduces Figure 7: normalized streamwise velocity profiles with and
+/// without hydrophobic wall forces, and the apparent slip they produce.
+///
+/// The paper's dotted/dashed curve (wall forces on) shows an apparent
+/// slip of approximately 10% of the free-stream velocity at the wall; the
+/// solid curve (no wall forces) is no-slip.
+///
+///   usage: fig07_velocity_slip [--ny=20] [--steps=2500] [--ranks=2]
+///                              [--csv=path]
+
+#include <mutex>
+
+#include "bench_common.hpp"
+#include "lbm/observables.hpp"
+#include "sim/parallel_lbm.hpp"
+#include "transport/thread_comm.hpp"
+
+using namespace slipflow;
+using namespace slipflow::lbm;
+
+namespace {
+
+std::vector<double> run_profile(const sim::RunnerConfig& cfg, int steps,
+                                int ranks) {
+  std::vector<double> out;
+  std::mutex mu;
+  transport::run_ranks(ranks, [&](transport::Communicator& comm) {
+    sim::ParallelLbm run(cfg, comm);
+    run.initialize_uniform();
+    run.run(steps);
+    auto u = run.gather_velocity_profile_y(cfg.global.nx / 2,
+                                           cfg.global.nz / 2);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      out = std::move(u);
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = util::Options::parse(argc, argv);
+  const index_t ny = opts.get("ny", 20LL);
+  const int steps = static_cast<int>(opts.get("steps", 2500LL));
+  const int ranks = static_cast<int>(opts.get("ranks", 2LL));
+  const std::string csv = opts.get("csv", std::string{});
+  (void)csv;
+  bench::check_options(opts);
+
+  // same geometry reasoning as fig06: preserve the paper's
+  // decay-to-depth ratio rather than the raw 10:1 width:depth aspect
+  const Extents grid{2 * ny, ny, std::max<index_t>(ny / 2, 4)};
+  const double um_per_cell = 1.0 / static_cast<double>(ny);
+
+  sim::RunnerConfig forced;
+  forced.global = grid;
+  forced.fluid = FluidParams::microchannel_defaults();
+  sim::RunnerConfig control = forced;
+  control.fluid = FluidParams::microchannel_defaults(/*wall_accel=*/0.0);
+
+  const auto uf = run_profile(forced, steps, ranks);
+  const auto uc = run_profile(control, steps, ranks);
+  const auto sf = measure_slip(uf);
+  const auto sc = measure_slip(uc);
+
+  util::Table table(
+      "Figure 7 — normalized streamwise velocity u/u0 vs position from "
+      "side wall (x = L/2, z = mid-depth)");
+  table.header({"position_um", "u_norm_wall_forces", "u_norm_no_forces"});
+  for (index_t j = 0; j < ny; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    table.row({(static_cast<double>(j) + 0.5) * um_per_cell,
+               uf[ju] / sf.u_center, uc[ju] / sc.u_center});
+  }
+  bench::emit(table, opts);
+
+  util::Table slip("Apparent slip extracted from the profiles");
+  slip.header({"case", "u_wall/u0 (extrapolated)", "u_wallnode/u0"});
+  slip.row({std::string("wall forces"), sf.slip_fraction,
+            sf.u_wall_node / sf.u_center});
+  slip.row({std::string("no wall forces"), sc.slip_fraction,
+            sc.u_wall_node / sc.u_center});
+  slip.print(std::cout);
+
+  std::cout << "\npaper (Fig 7): apparent slip of approximately 10% of the "
+               "free stream velocity with wall forces; no slip without.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+/// Kernel microbenchmarks (google-benchmark): per-kernel throughput in
+/// lattice-site updates, for the single- and two-component systems.
+/// These numbers also calibrate the virtual cluster's per-point cost
+/// split across the three compute stages (ClusterConfig::stage_fraction).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "lbm/kernels.hpp"
+#include "lbm/simulation.hpp"
+#include "lbm/stepper.hpp"
+
+using namespace slipflow::lbm;
+
+namespace {
+
+struct Box {
+  std::shared_ptr<const ChannelGeometry> geom;
+  std::unique_ptr<Slab> slab;
+  PeriodicSelfExchanger halo;
+
+  explicit Box(FluidParams p, Extents e = {24, 24, 12}) {
+    geom = std::make_shared<const ChannelGeometry>(e);
+    slab = std::make_unique<Slab>(geom, std::move(p), 0, e.nx);
+    slab->initialize_uniform();
+    prime(*slab, halo);
+  }
+};
+
+void set_cells_rate(benchmark::State& state, const Slab& slab) {
+  state.SetItemsProcessed(state.iterations() * slab.owned_cells());
+  state.counters["MLUPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * slab.owned_cells()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Collide_SingleComponent(benchmark::State& state) {
+  Box b(FluidParams::single_component());
+  for (auto _ : state) collide(*b.slab);
+  set_cells_rate(state, *b.slab);
+}
+BENCHMARK(BM_Collide_SingleComponent);
+
+void BM_Collide_TwoComponent(benchmark::State& state) {
+  Box b(FluidParams::microchannel_defaults());
+  for (auto _ : state) collide(*b.slab);
+  set_cells_rate(state, *b.slab);
+}
+BENCHMARK(BM_Collide_TwoComponent);
+
+void BM_Stream_TwoComponent(benchmark::State& state) {
+  Box b(FluidParams::microchannel_defaults());
+  collide(*b.slab);
+  b.halo.exchange_f(*b.slab);
+  for (auto _ : state) stream(*b.slab);
+  set_cells_rate(state, *b.slab);
+}
+BENCHMARK(BM_Stream_TwoComponent);
+
+void BM_Density_TwoComponent(benchmark::State& state) {
+  Box b(FluidParams::microchannel_defaults());
+  for (auto _ : state) compute_density(*b.slab);
+  set_cells_rate(state, *b.slab);
+}
+BENCHMARK(BM_Density_TwoComponent);
+
+void BM_ForcesVelocity_TwoComponent(benchmark::State& state) {
+  Box b(FluidParams::microchannel_defaults());
+  for (auto _ : state) compute_forces_and_velocity(*b.slab);
+  set_cells_rate(state, *b.slab);
+}
+BENCHMARK(BM_ForcesVelocity_TwoComponent);
+
+void BM_FullPhase_TwoComponent(benchmark::State& state) {
+  Box b(FluidParams::microchannel_defaults());
+  for (auto _ : state) step_phase(*b.slab, b.halo);
+  set_cells_rate(state, *b.slab);
+}
+BENCHMARK(BM_FullPhase_TwoComponent);
+
+void BM_FHaloPackUnpack(benchmark::State& state) {
+  Box b(FluidParams::microchannel_defaults());
+  collide(*b.slab);
+  std::vector<double> buf(static_cast<std::size_t>(b.slab->f_halo_doubles()));
+  for (auto _ : state) {
+    b.slab->extract_f_halo(Side::right, buf);
+    b.slab->insert_f_halo(Side::left, buf);
+  }
+  state.SetBytesProcessed(state.iterations() * 2 *
+                          static_cast<long long>(buf.size()) * 8);
+}
+BENCHMARK(BM_FHaloPackUnpack);
+
+void BM_PlaneMigration(benchmark::State& state) {
+  Box b(FluidParams::microchannel_defaults());
+  std::vector<double> buf(
+      static_cast<std::size_t>(b.slab->migration_doubles(1)));
+  for (auto _ : state) {
+    b.slab->detach_planes(Side::right, 1, buf);
+    b.slab->attach_planes(Side::right, 1, buf);
+  }
+  state.SetBytesProcessed(state.iterations() * 2 *
+                          static_cast<long long>(buf.size()) * 8);
+}
+BENCHMARK(BM_PlaneMigration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+/// Decision-path microbenchmarks (google-benchmark): the remapping
+/// decision itself must be negligible next to a phase of LBM compute —
+/// these confirm it is nanoseconds-to-microseconds.
+
+#include <benchmark/benchmark.h>
+
+#include "balance/remapper.hpp"
+#include "cluster/virtual_node.hpp"
+
+using namespace slipflow::balance;
+
+namespace {
+
+void BM_HarmonicPredictorRecordPredict(benchmark::State& state) {
+  HarmonicMeanPredictor p(10);
+  double t = 0.4;
+  for (auto _ : state) {
+    p.record(t);
+    t = t < 1.0 ? t + 0.01 : 0.4;
+    if (p.ready()) benchmark::DoNotOptimize(p.predict());
+  }
+}
+BENCHMARK(BM_HarmonicPredictorRecordPredict);
+
+void BM_FilteredDecide(benchmark::State& state) {
+  FilteredPolicy policy;
+  BalanceConfig cfg;
+  const NodeLoad left{80000, 0.4}, me{80000, 1.2}, right{80000, 0.4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.decide(left, me, right, cfg));
+  }
+}
+BENCHMARK(BM_FilteredDecide);
+
+void BM_GlobalDecide20Nodes(benchmark::State& state) {
+  GlobalPolicy policy;
+  BalanceConfig cfg;
+  std::vector<NodeLoad> loads(20, NodeLoad{80000, 0.4});
+  loads[9].predicted_time = 1.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.decide_global(loads, cfg));
+  }
+}
+BENCHMARK(BM_GlobalDecide20Nodes);
+
+void BM_NodeBalancerRoundTrip(benchmark::State& state) {
+  BalanceConfig cfg;
+  NodeBalancer b(cfg, RemapPolicy::create("filtered"));
+  for (int i = 0; i < 10; ++i) b.record_phase(0.4, 80000);
+  const NodeLoad nb{80000, 0.4};
+  for (auto _ : state) {
+    b.record_phase(0.41, 80000);
+    benchmark::DoNotOptimize(b.decide(nb, 80000, nb));
+  }
+}
+BENCHMARK(BM_NodeBalancerRoundTrip);
+
+void BM_QuantizeFlow(benchmark::State& state) {
+  long long v = 0;
+  for (auto _ : state) {
+    v += quantize_flow_to_planes(123456, 4000, 20);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_QuantizeFlow);
+
+void BM_VirtualNodeFinishTimeAcrossBreakpoints(benchmark::State& state) {
+  slipflow::cluster::VirtualNode node;
+  node.add_load(
+      std::make_unique<slipflow::cluster::PeriodicLoad>(2.0, 10.0, 0.5));
+  double t = 0.0;
+  for (auto _ : state) {
+    t = node.finish_time(t, 0.4);
+    if (t > 1e6) t = 0.0;
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_VirtualNodeFinishTimeAcrossBreakpoints);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+#include "balance/predictors.hpp"
+
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace slipflow::balance {
+
+std::unique_ptr<LoadPredictor> LoadPredictor::create(const std::string& name,
+                                                     int window) {
+  if (name == "harmonic") return std::make_unique<HarmonicMeanPredictor>(window);
+  if (name == "arithmetic")
+    return std::make_unique<ArithmeticMeanPredictor>(window);
+  if (name == "last") return std::make_unique<LastValuePredictor>();
+  if (name == "ewma") return std::make_unique<EwmaPredictor>();
+  SLIPFLOW_REQUIRE_MSG(false, "unknown predictor '" << name << "'");
+  return nullptr;  // unreachable
+}
+
+HarmonicMeanPredictor::HarmonicMeanPredictor(int window)
+    : win_(static_cast<std::size_t>(window)) {
+  SLIPFLOW_REQUIRE(window >= 1);
+}
+
+void HarmonicMeanPredictor::record(double t) {
+  SLIPFLOW_REQUIRE(t > 0.0);
+  win_.push(t);
+}
+
+double HarmonicMeanPredictor::predict() const {
+  SLIPFLOW_REQUIRE(ready());
+  const auto xs = win_.samples();
+  return util::harmonic_mean(xs);
+}
+
+bool HarmonicMeanPredictor::ready() const { return win_.full(); }
+
+void HarmonicMeanPredictor::reset() { win_.clear(); }
+
+ArithmeticMeanPredictor::ArithmeticMeanPredictor(int window)
+    : win_(static_cast<std::size_t>(window)) {
+  SLIPFLOW_REQUIRE(window >= 1);
+}
+
+void ArithmeticMeanPredictor::record(double t) {
+  SLIPFLOW_REQUIRE(t > 0.0);
+  win_.push(t);
+}
+
+double ArithmeticMeanPredictor::predict() const {
+  SLIPFLOW_REQUIRE(ready());
+  const auto xs = win_.samples();
+  return util::mean(xs);
+}
+
+bool ArithmeticMeanPredictor::ready() const { return win_.full(); }
+
+void ArithmeticMeanPredictor::reset() { win_.clear(); }
+
+void LastValuePredictor::record(double t) {
+  SLIPFLOW_REQUIRE(t > 0.0);
+  last_ = t;
+  have_ = true;
+}
+
+double LastValuePredictor::predict() const {
+  SLIPFLOW_REQUIRE(ready());
+  return last_;
+}
+
+bool LastValuePredictor::ready() const { return have_; }
+
+void LastValuePredictor::reset() { have_ = false; }
+
+EwmaPredictor::EwmaPredictor(double alpha, int warmup)
+    : alpha_(alpha), warmup_(warmup) {
+  SLIPFLOW_REQUIRE(alpha > 0.0 && alpha <= 1.0);
+  SLIPFLOW_REQUIRE(warmup >= 1);
+}
+
+void EwmaPredictor::record(double t) {
+  SLIPFLOW_REQUIRE(t > 0.0);
+  value_ = count_ == 0 ? t : alpha_ * t + (1.0 - alpha_) * value_;
+  ++count_;
+}
+
+double EwmaPredictor::predict() const {
+  SLIPFLOW_REQUIRE(ready());
+  return value_;
+}
+
+bool EwmaPredictor::ready() const { return count_ >= warmup_; }
+
+void EwmaPredictor::reset() {
+  count_ = 0;
+  value_ = 0.0;
+}
+
+}  // namespace slipflow::balance

@@ -1,0 +1,114 @@
+#pragma once
+/// \file predictors.hpp
+/// Per-node load prediction (Section 3.4 and the related-work discussion).
+///
+/// Each node records its own execution time for every phase and predicts
+/// the time the *next* phase will take; that prediction is the "load
+/// index" exchanged with neighbors before a remapping decision.
+///
+/// The paper's choice is the harmonic mean of the last K phases: it is
+/// dominated by the fast samples, so a transient spike barely moves it
+/// (lazy remapping), while a persistently slow node is still detected
+/// after the window fills with slow samples. The alternatives here exist
+/// for the ablation benchmark: predictors that chase the most recent
+/// sample cause the "migration oscillation" the paper warns about.
+
+#include <memory>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace slipflow::balance {
+
+/// Predicts the next phase time from the history of recorded phase times.
+class LoadPredictor {
+ public:
+  virtual ~LoadPredictor() = default;
+
+  /// Record the measured duration of the phase that just finished (> 0).
+  virtual void record(double phase_seconds) = 0;
+
+  /// Predicted duration of the next phase. Requires ready().
+  virtual double predict() const = 0;
+
+  /// True once enough history exists to predict with confidence. Remapping
+  /// decisions must not fire before this — that is part of the paper's
+  /// laziness ("no migration will be made unless this machine is really
+  /// slow for the last phases").
+  virtual bool ready() const = 0;
+
+  /// Forget all history (used after a migration changed the local load).
+  virtual void reset() = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Factory by name: "harmonic", "arithmetic", "last", "ewma".
+  static std::unique_ptr<LoadPredictor> create(const std::string& name,
+                                               int window = 10);
+};
+
+/// The paper's estimator: K / sum(1/t_j) over the last K samples; ready
+/// only when the window is full.
+class HarmonicMeanPredictor final : public LoadPredictor {
+ public:
+  explicit HarmonicMeanPredictor(int window = 10);
+  void record(double phase_seconds) override;
+  double predict() const override;
+  bool ready() const override;
+  void reset() override;
+  std::string name() const override { return "harmonic"; }
+
+ private:
+  util::SampleWindow win_;
+};
+
+/// Arithmetic mean of the last K samples (a spike moves it K times more
+/// than the harmonic mean does for small spikes — less lazy).
+class ArithmeticMeanPredictor final : public LoadPredictor {
+ public:
+  explicit ArithmeticMeanPredictor(int window = 10);
+  void record(double phase_seconds) override;
+  double predict() const override;
+  bool ready() const override;
+  void reset() override;
+  std::string name() const override { return "arithmetic"; }
+
+ private:
+  util::SampleWindow win_;
+};
+
+/// Most-recent-sample predictor ("future load is closer to the most
+/// recent data", refs [46, 13] in the paper) — the oscillation-prone
+/// baseline.
+class LastValuePredictor final : public LoadPredictor {
+ public:
+  void record(double phase_seconds) override;
+  double predict() const override;
+  bool ready() const override;
+  void reset() override;
+  std::string name() const override { return "last"; }
+
+ private:
+  double last_ = 0.0;
+  bool have_ = false;
+};
+
+/// Exponentially weighted moving average with weight alpha on the newest
+/// sample.
+class EwmaPredictor final : public LoadPredictor {
+ public:
+  explicit EwmaPredictor(double alpha = 0.5, int warmup = 3);
+  void record(double phase_seconds) override;
+  double predict() const override;
+  bool ready() const override;
+  void reset() override;
+  std::string name() const override { return "ewma"; }
+
+ private:
+  double alpha_;
+  int warmup_;
+  int count_ = 0;
+  double value_ = 0.0;
+};
+
+}  // namespace slipflow::balance

@@ -1,0 +1,64 @@
+#include "balance/remapper.hpp"
+
+#include <cmath>
+
+namespace slipflow::balance {
+
+NodeBalancer::NodeBalancer(BalanceConfig cfg,
+                           std::shared_ptr<const RemapPolicy> policy)
+    : cfg_(std::move(cfg)),
+      policy_(std::move(policy)),
+      predictor_(LoadPredictor::create(cfg_.predictor, cfg_.window)) {
+  SLIPFLOW_REQUIRE(policy_ != nullptr);
+  SLIPFLOW_REQUIRE(cfg_.window >= 1);
+  SLIPFLOW_REQUIRE(cfg_.min_transfer_points >= 1);
+  SLIPFLOW_REQUIRE(cfg_.conservative_factor > 0.0 &&
+                   cfg_.conservative_factor <= 1.0);
+  SLIPFLOW_REQUIRE(cfg_.over_redistribution_cap >= 1.0);
+}
+
+void NodeBalancer::record_phase(double seconds, long long points) {
+  SLIPFLOW_REQUIRE(seconds > 0.0);
+  SLIPFLOW_REQUIRE(points > 0);
+  predictor_->record(seconds / static_cast<double>(points));
+}
+
+double NodeBalancer::predicted_time(long long points) const {
+  SLIPFLOW_REQUIRE(ready());
+  return predictor_->predict() * static_cast<double>(points);
+}
+
+Proposal NodeBalancer::decide(const std::optional<NodeLoad>& left,
+                              long long my_points,
+                              const std::optional<NodeLoad>& right) const {
+  if (!ready()) return {};
+  return policy_->decide(left, self_load(my_points), right, cfg_);
+}
+
+long long quantize_flow_to_planes(long long net_points, long long plane_cells,
+                                  long long donor_planes,
+                                  long long min_keep_planes) {
+  SLIPFLOW_REQUIRE(plane_cells > 0);
+  SLIPFLOW_REQUIRE(donor_planes >= 1);
+  SLIPFLOW_REQUIRE(min_keep_planes >= 1);
+  const long long magnitude = std::llabs(net_points);
+  long long planes = (magnitude + plane_cells / 2) / plane_cells;
+  const long long max_give = donor_planes - min_keep_planes;
+  if (planes > max_give) planes = max_give < 0 ? 0 : max_give;
+  return net_points >= 0 ? planes : -planes;
+}
+
+std::vector<long long> boundary_flows(const std::vector<long long>& current,
+                                      const std::vector<long long>& target) {
+  SLIPFLOW_REQUIRE(current.size() == target.size());
+  SLIPFLOW_REQUIRE(!current.empty());
+  std::vector<long long> flows(current.size() - 1);
+  long long acc = 0;
+  for (std::size_t i = 0; i + 1 < current.size(); ++i) {
+    acc += current[i] - target[i];
+    flows[i] = acc;
+  }
+  return flows;
+}
+
+}  // namespace slipflow::balance

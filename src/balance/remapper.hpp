@@ -1,0 +1,73 @@
+#pragma once
+/// \file remapper.hpp
+/// Per-node remapping controller and the plane-quantization helpers that
+/// turn a policy's point-level decisions into whole-plane transfers.
+///
+/// Both runners (the real thread-parallel LBM and the virtual cluster)
+/// instantiate one NodeBalancer per node and feed it measured phase
+/// times; the balancer owns the predictor and the policy and produces
+/// the node's load index and proposals. Everything here is deterministic
+/// given the same inputs, so the two sides of a boundary always agree.
+
+#include <memory>
+#include <optional>
+
+#include "balance/policy.hpp"
+#include "balance/predictors.hpp"
+
+namespace slipflow::balance {
+
+/// Controller for one node's remapping state.
+///
+/// Phase times are normalized to time-per-point before entering the
+/// prediction window, so migrations do not invalidate the history: after
+/// shipping planes away a node's per-point speed is unchanged and the
+/// predicted *phase* time automatically scales with its new point count.
+class NodeBalancer {
+ public:
+  NodeBalancer(BalanceConfig cfg, std::shared_ptr<const RemapPolicy> policy);
+
+  /// Record the node's own compute time for the phase that just finished,
+  /// with the point count it carried during that phase.
+  void record_phase(double seconds, long long points);
+
+  /// True once the prediction window is full ("confirmed", Section 3.4).
+  bool ready() const { return predictor_->ready(); }
+
+  /// Predicted next-phase time if the node carries `points` points.
+  double predicted_time(long long points) const;
+
+  /// This node's load for policy decisions.
+  NodeLoad self_load(long long points) const {
+    return {static_cast<double>(points), predicted_time(points)};
+  }
+
+  /// Run the (local) policy for this node.
+  Proposal decide(const std::optional<NodeLoad>& left, long long my_points,
+                  const std::optional<NodeLoad>& right) const;
+
+  const RemapPolicy& policy() const { return *policy_; }
+  const BalanceConfig& config() const { return cfg_; }
+
+ private:
+  BalanceConfig cfg_;
+  std::shared_ptr<const RemapPolicy> policy_;
+  std::unique_ptr<LoadPredictor> predictor_;
+};
+
+/// Convert a net point flow across one boundary into whole yz-planes
+/// (round to nearest), clamped so the donor keeps at least
+/// `min_keep_planes`. Positive input = donor is the left node; the sign
+/// is preserved. `donor_planes` is the current plane count of whichever
+/// node the flow drains.
+long long quantize_flow_to_planes(long long net_points, long long plane_cells,
+                                  long long donor_planes,
+                                  long long min_keep_planes = 1);
+
+/// Boundary flows implied by a global target assignment: result[i] is the
+/// point flow from node i to node i+1 (negative = leftward), computed as
+/// the prefix sum of (current - target).
+std::vector<long long> boundary_flows(const std::vector<long long>& current,
+                                      const std::vector<long long>& target);
+
+}  // namespace slipflow::balance

@@ -1,0 +1,175 @@
+#include "cluster/load_generator.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <cmath>
+
+namespace slipflow::cluster {
+
+PersistentLoad::PersistentLoad(double weight, double begin, double end)
+    : weight_(weight), begin_(begin), end_(end) {
+  SLIPFLOW_REQUIRE(weight >= 0.0);
+  SLIPFLOW_REQUIRE(begin >= 0.0 && begin < end);
+}
+
+double PersistentLoad::weight_at(double t) const {
+  return (t >= begin_ && t < end_) ? weight_ : 0.0;
+}
+
+double PersistentLoad::next_change(double t) const {
+  if (t < begin_) return begin_;
+  if (t < end_) return end_;
+  return kNever;
+}
+
+PeriodicLoad::PeriodicLoad(double weight, double period, double busy_fraction,
+                           double phase_offset)
+    : weight_(weight),
+      period_(period),
+      busy_(busy_fraction),
+      offset_(phase_offset) {
+  SLIPFLOW_REQUIRE(weight >= 0.0);
+  SLIPFLOW_REQUIRE(period > 0.0);
+  SLIPFLOW_REQUIRE(busy_fraction >= 0.0 && busy_fraction <= 1.0);
+}
+
+double PeriodicLoad::weight_at(double t) const {
+  if (busy_ <= 0.0) return 0.0;
+  if (busy_ >= 1.0) return weight_;
+  const double local = t - offset_ - period_ * std::floor((t - offset_) / period_);
+  return local < busy_ * period_ ? weight_ : 0.0;
+}
+
+double PeriodicLoad::next_change(double t) const {
+  if (busy_ <= 0.0 || busy_ >= 1.0) return kNever;
+  const double base = offset_ + period_ * std::floor((t - offset_) / period_);
+  const double busy_end = base + busy_ * period_;
+  double result = t < busy_end ? busy_end : base + period_;
+  // At large t the floating-point sum base + period can round down to
+  // exactly t; a breakpoint that is not strictly in the future would
+  // stall work integration, so step whole periods until it is.
+  while (result <= t) result += period_;
+  return result;
+}
+
+IntervalLoad::IntervalLoad(double weight, std::vector<Interval> intervals)
+    : weight_(weight), iv_(std::move(intervals)) {
+  SLIPFLOW_REQUIRE(weight >= 0.0);
+  for (std::size_t i = 0; i < iv_.size(); ++i) {
+    SLIPFLOW_REQUIRE(iv_[i].begin < iv_[i].end);
+    if (i > 0) SLIPFLOW_REQUIRE_MSG(iv_[i - 1].end <= iv_[i].begin,
+                                    "intervals must be sorted and disjoint");
+  }
+}
+
+double IntervalLoad::weight_at(double t) const {
+  // first interval with end > t
+  auto it = std::upper_bound(
+      iv_.begin(), iv_.end(), t,
+      [](double v, const Interval& in) { return v < in.end; });
+  return (it != iv_.end() && t >= it->begin) ? weight_ : 0.0;
+}
+
+double IntervalLoad::next_change(double t) const {
+  auto it = std::upper_bound(
+      iv_.begin(), iv_.end(), t,
+      [](double v, const Interval& in) { return v < in.end; });
+  if (it == iv_.end()) return kNever;
+  return t < it->begin ? it->begin : it->end;
+}
+
+TraceLoad::TraceLoad(std::vector<Sample> samples)
+    : samples_(std::move(samples)) {
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    SLIPFLOW_REQUIRE(samples_[i].weight >= 0.0);
+    if (i > 0)
+      SLIPFLOW_REQUIRE_MSG(samples_[i - 1].time < samples_[i].time,
+                           "trace samples must be strictly time-ordered");
+  }
+}
+
+double TraceLoad::weight_at(double t) const {
+  // last sample with time <= t
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](double v, const Sample& s) { return v < s.time; });
+  if (it == samples_.begin()) return 0.0;  // before the trace starts
+  return std::prev(it)->weight;
+}
+
+double TraceLoad::next_change(double t) const {
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](double v, const Sample& s) { return v < s.time; });
+  return it == samples_.end() ? kNever : it->time;
+}
+
+TraceLoad TraceLoad::from_csv(const std::string& path) {
+  std::ifstream in(path);
+  SLIPFLOW_REQUIRE_MSG(in.good(), "cannot open trace " << path);
+  std::vector<Sample> samples;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) continue;
+    char* end = nullptr;
+    const double t = std::strtod(line.c_str(), &end);
+    if (end == line.c_str()) continue;  // header or junk line
+    const double w = std::strtod(line.c_str() + comma + 1, nullptr);
+    samples.push_back({t, w});
+  }
+  SLIPFLOW_REQUIRE_MSG(!samples.empty(), "trace " << path << " has no data");
+  return TraceLoad(std::move(samples));
+}
+
+std::vector<TraceLoad::Sample> synthetic_trace(double horizon,
+                                               double sample_dt,
+                                               util::Rng& rng,
+                                               double busy_probability,
+                                               double mean_weight,
+                                               double episode_end_prob) {
+  SLIPFLOW_REQUIRE(horizon > 0.0 && sample_dt > 0.0);
+  SLIPFLOW_REQUIRE(busy_probability >= 0.0 && busy_probability <= 1.0);
+  SLIPFLOW_REQUIRE(mean_weight >= 0.0);
+  SLIPFLOW_REQUIRE(episode_end_prob > 0.0 && episode_end_prob <= 1.0);
+  std::vector<TraceLoad::Sample> out;
+  bool busy = false;
+  double w = 0.0;
+  // start probability chosen so the stationary busy fraction is roughly
+  // busy_probability for the given persistence
+  const double start_prob = busy_probability * episode_end_prob /
+                            std::max(1.0 - busy_probability, 1e-9);
+  for (double t = 0.0; t < horizon; t += sample_dt) {
+    // two-state (idle/busy) episode process with drifting busy weight —
+    // the simple autocorrelated structure host-load studies report
+    if (busy) {
+      if (rng.uniform() < episode_end_prob) busy = false;  // episode ends
+      else w = std::max(0.1, w + rng.uniform(-0.3, 0.3));
+    } else if (rng.uniform() < start_prob) {
+      busy = true;  // episode starts
+      w = mean_weight * rng.uniform(0.5, 1.5);
+    }
+    out.push_back({t, busy ? w : 0.0});
+  }
+  return out;
+}
+
+std::vector<std::vector<IntervalLoad::Interval>> spike_schedule(
+    int nodes, double horizon, double period, double spike_seconds,
+    util::Rng& rng) {
+  SLIPFLOW_REQUIRE(nodes >= 1);
+  SLIPFLOW_REQUIRE(horizon > 0.0 && period > 0.0);
+  SLIPFLOW_REQUIRE(spike_seconds > 0.0 && spike_seconds <= period);
+  std::vector<std::vector<IntervalLoad::Interval>> out(
+      static_cast<std::size_t>(nodes));
+  for (double t = 0.0; t < horizon; t += period) {
+    const auto victim = static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(nodes)));
+    out[victim].push_back({t, t + spike_seconds});
+  }
+  return out;
+}
+
+}  // namespace slipflow::cluster

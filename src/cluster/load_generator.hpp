@@ -1,0 +1,130 @@
+#pragma once
+/// \file load_generator.hpp
+/// Background-job models for the virtual cluster.
+///
+/// A load generator describes the CPU demand competing with the LBM
+/// process on one node as a piecewise-constant *weight* over virtual
+/// time. The node's fair-share scheduler gives the LBM process the share
+/// 1 / (1 + total competing weight), so e.g. a weight-2 competitor (a
+/// CPU-intensive job, roughly the paper's "70% CPU" background job)
+/// leaves the simulation one third of the node.
+///
+/// The three generators mirror the paper's workloads:
+///  * PersistentLoad  — the "fixed slow nodes" of Sections 4.2.1-4.2.3;
+///  * PeriodicLoad    — the duty-cycle disturbance of Figure 3 (every 10
+///    seconds, busy a given fraction, asleep the rest);
+///  * IntervalLoad    — explicit busy intervals; used for the random
+///    transient spikes of Table 1 (schedules built by spike_schedule()).
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace slipflow::cluster {
+
+/// Virtual time "never".
+inline constexpr double kNever = std::numeric_limits<double>::infinity();
+
+/// Piecewise-constant competing CPU weight over virtual time.
+class LoadGenerator {
+ public:
+  virtual ~LoadGenerator() = default;
+
+  /// Competing weight at time t (>= 0).
+  virtual double weight_at(double t) const = 0;
+
+  /// First time strictly after t at which weight_at changes, or kNever.
+  /// Needed so work integration can step exactly across breakpoints.
+  virtual double next_change(double t) const = 0;
+};
+
+/// Constant competing weight over [begin, end).
+class PersistentLoad final : public LoadGenerator {
+ public:
+  PersistentLoad(double weight, double begin = 0.0, double end = kNever);
+  double weight_at(double t) const override;
+  double next_change(double t) const override;
+
+ private:
+  double weight_, begin_, end_;
+};
+
+/// Periodic duty-cycle load: within each period, busy with `weight`
+/// for `busy_fraction` of the period (from the period start), idle the
+/// rest — the Figure 3 competing job ("every 10 seconds, it spent a
+/// certain percentage of time competing for CPU; it slept the rest").
+class PeriodicLoad final : public LoadGenerator {
+ public:
+  PeriodicLoad(double weight, double period, double busy_fraction,
+               double phase_offset = 0.0);
+  double weight_at(double t) const override;
+  double next_change(double t) const override;
+
+ private:
+  double weight_, period_, busy_, offset_;
+};
+
+/// Sorted, disjoint busy intervals with a common weight.
+class IntervalLoad final : public LoadGenerator {
+ public:
+  struct Interval {
+    double begin, end;
+  };
+  IntervalLoad(double weight, std::vector<Interval> intervals);
+  double weight_at(double t) const override;
+  double next_change(double t) const override;
+
+ private:
+  double weight_;
+  std::vector<Interval> iv_;
+};
+
+/// Piecewise-constant weight replayed from a recorded trace: samples
+/// (t_i, w_i) sorted by time; the weight holds from t_i until the next
+/// sample (and w_last afterwards). This is the substitution for replaying
+/// real shared-cluster load traces (see DESIGN.md): any CSV of timestamped
+/// load averages can be converted into one of these per node.
+class TraceLoad final : public LoadGenerator {
+ public:
+  struct Sample {
+    double time;
+    double weight;
+  };
+  explicit TraceLoad(std::vector<Sample> samples);
+
+  double weight_at(double t) const override;
+  double next_change(double t) const override;
+
+  /// Parse a two-column "time,weight" CSV (header line optional,
+  /// '#' comments skipped).
+  static TraceLoad from_csv(const std::string& path);
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Build the Table 1 workload: every `period` seconds a uniformly random
+/// node receives a busy interval of `spike_seconds` at `weight`. Returns
+/// one interval list per node, covering [0, horizon).
+std::vector<std::vector<IntervalLoad::Interval>> spike_schedule(
+    int nodes, double horizon, double period, double spike_seconds,
+    util::Rng& rng);
+
+/// Generate a synthetic load trace with the statistics observed in shared
+/// Unix clusters (the paper's refs [9, 44, 46]): a two-state busy/idle
+/// episode process with drifting busy intensity, sampled every
+/// `sample_dt`. `episode_end_prob` is the per-sample probability a busy
+/// episode ends — its inverse sets the load persistence, the key variable
+/// deciding whether dynamic remapping pays off. Deterministic under `rng`.
+std::vector<TraceLoad::Sample> synthetic_trace(double horizon,
+                                               double sample_dt,
+                                               util::Rng& rng,
+                                               double busy_probability = 0.3,
+                                               double mean_weight = 1.5,
+                                               double episode_end_prob = 0.2);
+
+}  // namespace slipflow::cluster

@@ -1,0 +1,51 @@
+#pragma once
+/// \file network.hpp
+/// Cost model of the cluster interconnect (the paper's Gigabit Ethernet
+/// switch) and of the OS effects that make a loaded node's communication
+/// "sluggish" (Section 3.3).
+
+#include "util/require.hpp"
+
+namespace slipflow::cluster {
+
+struct NetworkParams {
+  /// One-way message latency (s).
+  double latency = 1e-4;
+  /// Effective point-to-point bandwidth (bytes/s). Default is deliberately
+  /// below wire speed: 2004-era MPI over GigE sustained roughly 50 MB/s.
+  double bandwidth = 50e6;
+  /// Dedicated-CPU seconds a node spends packing/posting the messages of
+  /// one exchange stage. On a loaded node this cost inflates by 1/share —
+  /// that is the first half of "slow nodes communicate sluggishly".
+  double msg_cpu = 5e-3;
+  /// OS scheduling quantum: when a node *waits* for a message while a
+  /// competing job holds the CPU, it is not rescheduled the instant the
+  /// message lands; the wake-up lag is quantum * (1/share - 1). This is
+  /// the second half of sluggish communication and the reason merely
+  /// balancing a slow node's *compute* (the conservative scheme) leaves
+  /// its messages on the critical path.
+  double sched_quantum = 0.05;
+  /// Scale transfer time by endpoint CPU shares (protocol processing is
+  /// CPU-bound on 2004 hardware).
+  bool endpoint_share_scaling = true;
+
+  void validate() const {
+    SLIPFLOW_REQUIRE(latency >= 0.0);
+    SLIPFLOW_REQUIRE(bandwidth > 0.0);
+    SLIPFLOW_REQUIRE(msg_cpu >= 0.0);
+    SLIPFLOW_REQUIRE(sched_quantum >= 0.0);
+  }
+};
+
+/// Wire time of one message of `bytes`, given the sender's and receiver's
+/// CPU shares at transfer time.
+inline double transfer_seconds(const NetworkParams& net, double bytes,
+                               double share_send, double share_recv) {
+  double t = bytes / net.bandwidth;
+  if (net.endpoint_share_scaling) {
+    t *= 0.5 * (1.0 / share_send + 1.0 / share_recv);
+  }
+  return t;
+}
+
+}  // namespace slipflow::cluster

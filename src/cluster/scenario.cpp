@@ -1,0 +1,71 @@
+#include "cluster/scenario.hpp"
+
+#include "util/require.hpp"
+
+namespace slipflow::cluster {
+
+namespace paper {
+
+ClusterConfig base_config(int nodes) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.planes_total = 400;
+  cfg.plane_cells = 200 * 20;
+  cfg.cost_per_point = 4.9e-6;
+  // stage split measured on the real kernels (bench/micro_lbm_kernels):
+  // collide : stream+bounce-back+density : forces+velocity
+  cfg.stage_fraction = {0.15, 0.27, 0.58};
+  cfg.remap_interval = 10;
+  cfg.balance.window = 10;
+  cfg.balance.min_transfer_points = 4000;  // one 200x20 plane
+  cfg.net.latency = 1e-4;
+  cfg.net.bandwidth = 50e6;
+  cfg.net.msg_cpu = 5e-3;
+  cfg.net.sched_quantum = 0.05;
+  return cfg;
+}
+
+std::vector<int> slow_node_set(int m) {
+  SLIPFLOW_REQUIRE(m >= 0 && m <= 5);
+  static const std::vector<int> order = {kProfiledSlowNode, 3, 15, 6, 12};
+  return {order.begin(), order.begin() + m};
+}
+
+}  // namespace paper
+
+void add_fixed_slow_nodes(ClusterSim& sim, const std::vector<int>& which,
+                          double weight) {
+  for (int i : which)
+    sim.node(i).add_load(std::make_unique<PersistentLoad>(weight));
+}
+
+void add_periodic_disturbance(ClusterSim& sim, int node, double busy_fraction,
+                              double period, double weight) {
+  sim.node(node).add_load(
+      std::make_unique<PeriodicLoad>(weight, period, busy_fraction));
+}
+
+void add_transient_spikes(ClusterSim& sim, double horizon,
+                          double spike_seconds, double period,
+                          std::uint64_t seed, double weight) {
+  util::Rng rng(seed);
+  const auto schedule = spike_schedule(sim.config().nodes, horizon, period,
+                                       spike_seconds, rng);
+  for (int i = 0; i < sim.config().nodes; ++i) {
+    const auto& iv = schedule[static_cast<std::size_t>(i)];
+    if (!iv.empty())
+      sim.node(i).add_load(std::make_unique<IntervalLoad>(weight, iv));
+  }
+}
+
+double normalized_efficiency(double speedup, int nodes, int slow_nodes,
+                             double slow_share) {
+  SLIPFLOW_REQUIRE(nodes >= 1 && slow_nodes >= 0 && slow_nodes <= nodes);
+  SLIPFLOW_REQUIRE(slow_share > 0.0 && slow_share <= 1.0);
+  const double capacity =
+      static_cast<double>(nodes) -
+      static_cast<double>(slow_nodes) * (1.0 - slow_share);
+  return speedup / capacity;
+}
+
+}  // namespace slipflow::cluster

@@ -1,0 +1,51 @@
+#include "cluster/virtual_node.hpp"
+
+#include <algorithm>
+
+namespace slipflow::cluster {
+
+VirtualNode::VirtualNode(double speed) : speed_(speed) {
+  SLIPFLOW_REQUIRE(speed > 0.0);
+}
+
+void VirtualNode::add_load(std::unique_ptr<LoadGenerator> load) {
+  SLIPFLOW_REQUIRE(load != nullptr);
+  loads_.push_back(std::move(load));
+}
+
+void VirtualNode::clear_loads() { loads_.clear(); }
+
+double VirtualNode::share_at(double t) const {
+  double w = 0.0;
+  for (const auto& l : loads_) w += l->weight_at(t);
+  return 1.0 / (1.0 + w);
+}
+
+double VirtualNode::next_change(double t) const {
+  double nxt = kNever;
+  for (const auto& l : loads_) nxt = std::min(nxt, l->next_change(t));
+  return nxt;
+}
+
+double VirtualNode::finish_time(double start, double work) const {
+  SLIPFLOW_REQUIRE(work >= 0.0);
+  SLIPFLOW_REQUIRE(start >= 0.0);
+  double t = start;
+  double remaining = work;
+  while (remaining > 0.0) {
+    const double rate = rate_at(t);
+    const double change = next_change(t);
+    // generators contract to return breakpoints strictly in the future;
+    // a violation would stall this loop forever, so fail loudly instead
+    SLIPFLOW_REQUIRE_MSG(change > t,
+                         "load generator returned non-advancing breakpoint");
+    const double needed = remaining / rate;
+    if (t + needed <= change) return t + needed;
+    // burn through to the breakpoint, then continue at the new rate
+    remaining -= (change - t) * rate;
+    t = change;
+  }
+  return t;
+}
+
+}  // namespace slipflow::cluster

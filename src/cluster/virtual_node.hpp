@@ -1,0 +1,48 @@
+#pragma once
+/// \file virtual_node.hpp
+/// One machine of the virtual cluster: a base CPU speed plus any number
+/// of competing background jobs, with exact piecewise integration of how
+/// long a given amount of dedicated-CPU work takes starting at a given
+/// virtual time.
+
+#include <memory>
+#include <vector>
+
+#include "cluster/load_generator.hpp"
+
+namespace slipflow::cluster {
+
+class VirtualNode {
+ public:
+  /// \param speed base CPU speed relative to the reference node (1.0).
+  explicit VirtualNode(double speed = 1.0);
+
+  /// Attach a competing background job.
+  void add_load(std::unique_ptr<LoadGenerator> load);
+  /// Remove all background jobs.
+  void clear_loads();
+
+  double base_speed() const { return speed_; }
+
+  /// Fraction of the node the LBM process gets at time t:
+  /// share = 1 / (1 + sum of competing weights). In (0, 1].
+  double share_at(double t) const;
+
+  /// Effective work rate at time t (dedicated-seconds of work retired per
+  /// wall second): base_speed * share.
+  double rate_at(double t) const { return speed_ * share_at(t); }
+
+  /// Earliest time the total competing weight changes after t (kNever if
+  /// constant from t on).
+  double next_change(double t) const;
+
+  /// Wall-clock completion time of `work` dedicated-CPU seconds started
+  /// at time `start`, integrating the piecewise-constant rate exactly.
+  double finish_time(double start, double work) const;
+
+ private:
+  double speed_;
+  std::vector<std::unique_ptr<LoadGenerator>> loads_;
+};
+
+}  // namespace slipflow::cluster

@@ -1,0 +1,55 @@
+#pragma once
+/// \file checkpoint.hpp
+/// Checkpoint / restart of the multicomponent LBM state.
+///
+/// The paper's production runs take days to weeks ("even a parallel
+/// computation of fluid slip can take days or weeks"), so restartability
+/// is a practical necessity. The on-disk format reuses the migration
+/// plane layout (Slab::pack_plane): a fixed header followed by one
+/// packed record per global yz-plane in x order. Because planes are
+/// self-contained, a checkpoint written by any decomposition can be
+/// restored by any other — including a different rank count — each rank
+/// simply reads the plane range it owns.
+///
+/// Values are stored as native-endian IEEE doubles; checkpoints are not
+/// portable across endianness (document, not defect: they are restart
+/// files, not archives).
+
+#include <cstdint>
+#include <string>
+
+#include "lbm/slab.hpp"
+
+namespace slipflow::lbm {
+
+/// Header contents of a checkpoint file.
+struct CheckpointInfo {
+  Extents global;
+  std::size_t components = 0;
+  long long phase = 0;  ///< phases completed when the checkpoint was taken
+};
+
+/// Read and validate a checkpoint header.
+CheckpointInfo read_checkpoint_info(const std::string& path);
+
+/// Write a checkpoint of a full-domain slab (sequential simulation).
+void save_checkpoint(const Slab& slab, long long phase,
+                     const std::string& path);
+
+/// Create the checkpoint file and write only the header, sized for the
+/// given domain; planes are then written by write_checkpoint_planes
+/// (possibly by several writers for disjoint ranges).
+void begin_checkpoint(const Extents& global, std::size_t components,
+                      long long phase, index_t plane_doubles,
+                      const std::string& path);
+
+/// Write the slab's owned planes into their slots of an existing
+/// checkpoint file (created by begin_checkpoint with matching geometry).
+void write_checkpoint_planes(const Slab& slab, const std::string& path);
+
+/// Load the planes a slab owns from a checkpoint. The checkpoint's
+/// domain and component count must match the slab's; the slab's extent
+/// may be any sub-range. Returns the stored phase count.
+long long load_checkpoint_planes(Slab& slab, const std::string& path);
+
+}  // namespace slipflow::lbm

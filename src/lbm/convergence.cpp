@@ -1,0 +1,50 @@
+#include "lbm/convergence.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace slipflow::lbm {
+
+SteadyStateMonitor::SteadyStateMonitor(double tolerance)
+    : tol_(tolerance),
+      residual_(std::numeric_limits<double>::infinity()) {
+  SLIPFLOW_REQUIRE(tolerance > 0.0);
+}
+
+bool SteadyStateMonitor::check(const Slab& slab) {
+  const Extents& st = slab.storage();
+  const index_t first = st.plane_cells();
+  const index_t count = slab.nx_local() * st.plane_cells();
+  std::vector<double> cur(static_cast<std::size_t>(3 * count));
+  for (index_t i = 0; i < count; ++i) {
+    cur[static_cast<std::size_t>(3 * i)] = slab.velocity().x()[first + i];
+    cur[static_cast<std::size_t>(3 * i + 1)] = slab.velocity().y()[first + i];
+    cur[static_cast<std::size_t>(3 * i + 2)] = slab.velocity().z()[first + i];
+  }
+  if (prev_.size() != cur.size()) {
+    prev_ = std::move(cur);
+    residual_ = std::numeric_limits<double>::infinity();
+    return false;
+  }
+  double diff2 = 0.0, norm2 = 0.0;
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    const double d = cur[i] - prev_[i];
+    diff2 += d * d;
+    norm2 += cur[i] * cur[i];
+  }
+  const double dn = std::sqrt(diff2);
+  const double vn = std::sqrt(norm2);
+  residual_ = dn / std::max(vn, 1e-300);
+  prev_ = std::move(cur);
+  // a quiescent field carries only round-off dust; the relative residual
+  // is meaningless there, so an absolute floor also counts as converged
+  const double floor = 1e-14 * std::sqrt(static_cast<double>(prev_.size()));
+  return residual_ < tol_ || dn < floor;
+}
+
+void SteadyStateMonitor::reset() {
+  prev_.clear();
+  residual_ = std::numeric_limits<double>::infinity();
+}
+
+}  // namespace slipflow::lbm

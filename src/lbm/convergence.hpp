@@ -1,0 +1,38 @@
+#pragma once
+/// \file convergence.hpp
+/// Steady-state detection. The paper notes a production run needs
+/// ~500,000 phases "to reach the steady-state"; rather than guessing a
+/// phase count, callers can monitor the relative L2 change of the
+/// velocity field and stop when it stalls.
+
+#include <vector>
+
+#include "lbm/slab.hpp"
+
+namespace slipflow::lbm {
+
+/// Tracks the relative L2 difference between successive velocity-field
+/// snapshots of a slab's owned region.
+class SteadyStateMonitor {
+ public:
+  /// \param tolerance converged when |u - u_prev|_2 / max(|u|_2, eps)
+  ///                  falls below this between consecutive check()s.
+  explicit SteadyStateMonitor(double tolerance = 1e-8);
+
+  /// Snapshot the velocity field and compare with the previous snapshot.
+  /// Returns true once converged (always false on the first call).
+  bool check(const Slab& slab);
+
+  /// Relative residual of the last check (infinity before the second).
+  double last_residual() const { return residual_; }
+
+  /// Drop history (e.g. after parameters changed mid-run).
+  void reset();
+
+ private:
+  double tol_;
+  double residual_;
+  std::vector<double> prev_;
+};
+
+}  // namespace slipflow::lbm

@@ -1,0 +1,130 @@
+#pragma once
+/// \file field.hpp
+/// Owning field containers for slab-local lattice data.
+///
+/// All fields are sized for the slab's *storage* box, i.e. the owned
+/// x-planes plus one halo plane on each side. The distribution field is
+/// stored direction-major (19 contiguous scalar fields) because both the
+/// pull-streaming kernel and halo-plane extraction then operate on
+/// contiguous runs.
+
+#include <span>
+#include <vector>
+
+#include "lbm/lattice.hpp"
+#include "lbm/types.hpp"
+#include "util/require.hpp"
+
+namespace slipflow::lbm {
+
+/// A scalar value per cell (e.g. a component's number density).
+class ScalarField {
+ public:
+  ScalarField() = default;
+  explicit ScalarField(Extents e, double fill = 0.0)
+      : ext_(e), data_(static_cast<std::size_t>(e.cells()), fill) {}
+
+  const Extents& extents() const { return ext_; }
+
+  double& operator[](index_t cell) { return data_[static_cast<std::size_t>(cell)]; }
+  double operator[](index_t cell) const { return data_[static_cast<std::size_t>(cell)]; }
+
+  double& at(index_t x, index_t y, index_t z) { return (*this)[ext_.idx(x, y, z)]; }
+  double at(index_t x, index_t y, index_t z) const { return (*this)[ext_.idx(x, y, z)]; }
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  /// Contiguous view of one yz-plane (fixed x).
+  std::span<double> plane(index_t x) {
+    return std::span<double>(data_).subspan(
+        static_cast<std::size_t>(x * ext_.plane_cells()),
+        static_cast<std::size_t>(ext_.plane_cells()));
+  }
+  std::span<const double> plane(index_t x) const {
+    return std::span<const double>(data_).subspan(
+        static_cast<std::size_t>(x * ext_.plane_cells()),
+        static_cast<std::size_t>(ext_.plane_cells()));
+  }
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+ private:
+  Extents ext_{};
+  std::vector<double> data_;
+};
+
+/// A 3-vector per cell, stored as three scalar planes (SoA).
+class VectorField {
+ public:
+  VectorField() = default;
+  explicit VectorField(Extents e) : x_(e), y_(e), z_(e) {}
+
+  const Extents& extents() const { return x_.extents(); }
+
+  ScalarField& x() { return x_; }
+  ScalarField& y() { return y_; }
+  ScalarField& z() { return z_; }
+  const ScalarField& x() const { return x_; }
+  const ScalarField& y() const { return y_; }
+  const ScalarField& z() const { return z_; }
+
+  Vec3 at(index_t cell) const { return {x_[cell], y_[cell], z_[cell]}; }
+  void set(index_t cell, const Vec3& v) {
+    x_[cell] = v.x;
+    y_[cell] = v.y;
+    z_[cell] = v.z;
+  }
+
+ private:
+  ScalarField x_, y_, z_;
+};
+
+/// The 19 particle populations of one fluid component, direction-major.
+class DistField {
+ public:
+  DistField() = default;
+  explicit DistField(Extents e)
+      : ext_(e),
+        data_(static_cast<std::size_t>(kQ) * static_cast<std::size_t>(e.cells())) {}
+
+  const Extents& extents() const { return ext_; }
+
+  /// Contiguous scalar field of direction d.
+  std::span<double> dir(int d) {
+    return std::span<double>(data_).subspan(
+        static_cast<std::size_t>(d) * static_cast<std::size_t>(ext_.cells()),
+        static_cast<std::size_t>(ext_.cells()));
+  }
+  std::span<const double> dir(int d) const {
+    return std::span<const double>(data_).subspan(
+        static_cast<std::size_t>(d) * static_cast<std::size_t>(ext_.cells()),
+        static_cast<std::size_t>(ext_.cells()));
+  }
+
+  double& at(int d, index_t cell) { return dir(d)[static_cast<std::size_t>(cell)]; }
+  double at(int d, index_t cell) const { return dir(d)[static_cast<std::size_t>(cell)]; }
+
+  /// Contiguous view of direction d restricted to one yz-plane (fixed x).
+  std::span<double> dir_plane(int d, index_t x) {
+    return dir(d).subspan(static_cast<std::size_t>(x * ext_.plane_cells()),
+                          static_cast<std::size_t>(ext_.plane_cells()));
+  }
+  std::span<const double> dir_plane(int d, index_t x) const {
+    return dir(d).subspan(static_cast<std::size_t>(x * ext_.plane_cells()),
+                          static_cast<std::size_t>(ext_.plane_cells()));
+  }
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+  void swap(DistField& o) {
+    std::swap(ext_, o.ext_);
+    data_.swap(o.data_);
+  }
+
+ private:
+  Extents ext_{};
+  std::vector<double> data_;
+};
+
+}  // namespace slipflow::lbm

@@ -1,0 +1,54 @@
+#include "lbm/geometry.hpp"
+
+#include <cmath>
+
+namespace slipflow::lbm {
+
+ChannelGeometry::ChannelGeometry(
+    Extents global, std::function<bool(index_t, index_t, index_t)> obstacle,
+    bool walls_y, bool walls_z)
+    : global_(global), walls_y_(walls_y), walls_z_(walls_z) {
+  SLIPFLOW_REQUIRE(global.nx > 0 && global.ny > 0 && global.nz > 0);
+  if (obstacle) {
+    has_obstacles_ = true;
+    obstacle_mask_.resize(static_cast<std::size_t>(global.cells()));
+    for (index_t x = 0; x < global.nx; ++x)
+      for (index_t y = 0; y < global.ny; ++y)
+        for (index_t z = 0; z < global.nz; ++z)
+          obstacle_mask_[static_cast<std::size_t>(
+              (x * global.ny + y) * global.nz + z)] =
+              obstacle(x, y, z) ? 1 : 0;
+  }
+}
+
+void ChannelGeometry::set_wall_velocity(Wall wall, const Vec3& u) {
+  const bool is_y = wall == Wall::y_low || wall == Wall::y_high;
+  SLIPFLOW_REQUIRE_MSG(is_y ? walls_y_ : walls_z_,
+                       "cannot move a wall in a periodic direction");
+  // only tangential motion is meaningful for bounce-back walls
+  SLIPFLOW_REQUIRE_MSG(is_y ? u.y == 0.0 : u.z == 0.0,
+                       "wall velocity must be tangential");
+  wall_u_[static_cast<std::size_t>(wall)] = u;
+  moving_walls_ = false;
+  for (const Vec3& w : wall_u_)
+    if (w.norm2() > 0.0) moving_walls_ = true;
+}
+
+Vec3 ChannelGeometry::wall_unit_accel(index_t y, index_t z,
+                                      double decay) const {
+  SLIPFLOW_REQUIRE(decay > 0.0);
+  Vec3 a;
+  if (walls_y_) {
+    const double dy_lo = static_cast<double>(y) + 0.5;
+    const double dy_hi = static_cast<double>(global_.ny - 1 - y) + 0.5;
+    a.y = std::exp(-dy_lo / decay) - std::exp(-dy_hi / decay);
+  }
+  if (walls_z_) {
+    const double dz_lo = static_cast<double>(z) + 0.5;
+    const double dz_hi = static_cast<double>(global_.nz - 1 - z) + 0.5;
+    a.z = std::exp(-dz_lo / decay) - std::exp(-dz_hi / decay);
+  }
+  return a;
+}
+
+}  // namespace slipflow::lbm

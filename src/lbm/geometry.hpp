@@ -1,0 +1,115 @@
+#pragma once
+/// \file geometry.hpp
+/// Microchannel geometry (Figure 5 of the paper): a box that is periodic
+/// along the streamwise x direction and bounded by solid walls at the y
+/// (side) and z (top/bottom) extents, plus the precomputed hydrophobic
+/// wall-force direction field.
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "lbm/types.hpp"
+#include "util/require.hpp"
+
+namespace slipflow::lbm {
+
+/// Channel geometry over the *global* domain. Slabs query it with global
+/// coordinates, so decomposition does not change the physics.
+///
+/// The y and z extents are walled by default (the paper's channel); either
+/// can be made periodic instead, which turns the box into an infinite slit
+/// — the configuration the Poiseuille validation problems need.
+class ChannelGeometry {
+ public:
+  /// \param global   full domain extents (x always periodic)
+  /// \param obstacle optional predicate marking extra solid cells inside
+  ///                 the channel (global coordinates); nullptr = plain box.
+  /// \param walls_y  solid side walls at the y extents (else periodic)
+  /// \param walls_z  solid top/bottom walls at the z extents (else periodic)
+  explicit ChannelGeometry(
+      Extents global,
+      std::function<bool(index_t, index_t, index_t)> obstacle = {},
+      bool walls_y = true, bool walls_z = true);
+
+  const Extents& global() const { return global_; }
+
+  bool walls_y() const { return walls_y_; }
+  bool walls_z() const { return walls_z_; }
+
+  /// True if the site is solid: outside a walled y/z fluid range or an
+  /// obstacle. Periodic coordinates are wrapped first.
+  bool solid(index_t gx, index_t gy, index_t gz) const {
+    if (walls_y_ && (gy < 0 || gy >= global_.ny)) return true;
+    if (walls_z_ && (gz < 0 || gz >= global_.nz)) return true;
+    if (!has_obstacles_) return false;
+    const index_t x = wrap_x(gx);
+    const index_t y = wrap(gy, global_.ny);
+    const index_t z = wrap(gz, global_.nz);
+    return obstacle_mask_[static_cast<std::size_t>(
+        (x * global_.ny + y) * global_.nz + z)];
+  }
+
+  bool has_obstacles() const { return has_obstacles_; }
+
+  /// Periodic wrap of a global x coordinate into [0, nx).
+  index_t wrap_x(index_t gx) const { return wrap(gx, global_.nx); }
+
+  static index_t wrap(index_t v, index_t n) {
+    index_t r = v % n;
+    return r < 0 ? r + n : r;
+  }
+
+  /// Distance (lattice units) from the cell center of row y to the nearest
+  /// side wall. With half-way bounce-back the wall surface sits half a
+  /// spacing outside the first fluid node, so row j is at distance j + 1/2.
+  /// Infinite when that direction is periodic.
+  double wall_distance_y(index_t y) const {
+    if (!walls_y_) return std::numeric_limits<double>::infinity();
+    const double lo = static_cast<double>(y) + 0.5;
+    const double hi = static_cast<double>(global_.ny - 1 - y) + 0.5;
+    return lo < hi ? lo : hi;
+  }
+  double wall_distance_z(index_t z) const {
+    if (!walls_z_) return std::numeric_limits<double>::infinity();
+    const double lo = static_cast<double>(z) + 0.5;
+    const double hi = static_cast<double>(global_.nz - 1 - z) + 0.5;
+    return lo < hi ? lo : hi;
+  }
+
+  /// Unit-amplitude hydrophobic wall acceleration at (y,z): the sum of an
+  /// exponentially decaying push from each of the four walls, each along
+  /// its inward normal (Section 2: "forces decay exponentially away from
+  /// the wall"). Multiply by a component's wall_accel amplitude to get the
+  /// acceleration it feels.
+  Vec3 wall_unit_accel(index_t y, index_t z, double decay) const;
+
+  /// The four channel walls, for boundary-condition configuration.
+  enum class Wall { y_low, y_high, z_low, z_high };
+
+  /// Set a wall's tangential velocity (moving-wall bounce-back; used by
+  /// the Couette validation problems and shear-driven extensions). The
+  /// wall must exist (that direction not periodic); the velocity
+  /// component normal to the wall must be zero.
+  void set_wall_velocity(Wall wall, const Vec3& u);
+
+  /// Velocity of a wall (zero by default).
+  const Vec3& wall_velocity(Wall wall) const {
+    return wall_u_[static_cast<std::size_t>(wall)];
+  }
+
+  /// True if any wall moves — lets the streaming kernel keep its fast
+  /// path when all walls are at rest.
+  bool has_moving_walls() const { return moving_walls_; }
+
+ private:
+  Extents global_;
+  bool has_obstacles_ = false;
+  bool walls_y_ = true;
+  bool walls_z_ = true;
+  bool moving_walls_ = false;
+  std::array<Vec3, 4> wall_u_{};
+  std::vector<char> obstacle_mask_;  // only filled when an obstacle fn given
+};
+
+}  // namespace slipflow::lbm

@@ -1,0 +1,54 @@
+#pragma once
+/// \file kernels.hpp
+/// The per-phase compute kernels of the multicomponent lattice Boltzmann
+/// method (Section 2.1), each operating on the owned planes of a Slab.
+///
+/// One LBM phase executes, in order (Figure 2 of the paper):
+///   1. collide()                      — local
+///   2. f-halo exchange                — communication (Slab::*_f_halo)
+///   3. stream()                       — local, includes wall bounce-back
+///   4. compute_density()              — local
+///   5. density-halo exchange          — communication (Slab::*_density_halo)
+///   6. compute_forces_and_velocity()  — local (Shan–Chen + wall + gravity)
+/// The equilibrium velocities stored by step 6 feed step 1 of the next
+/// phase, exactly as the velocity computed on line 17 of the paper's
+/// pseudo-code is used by the collision on line 4 of the next iteration.
+
+#include "lbm/slab.hpp"
+
+namespace slipflow::lbm {
+
+/// Second-order D3Q19 Maxwell–Boltzmann equilibrium for direction d at
+/// number density n and velocity u (lattice units).
+inline double equilibrium(int d, double n, const Vec3& u) {
+  const double cu = kCx[d] * u.x + kCy[d] * u.y + kCz[d] * u.z;
+  const double u2 = u.norm2();
+  return kWeight[d] * n * (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * u2);
+}
+
+/// BGK collision for every component on the owned planes:
+/// f_post = f - (f - f_eq(n, ueq)) / tau, using the number density and
+/// equilibrium velocity stored by the previous phase's force step.
+void collide(Slab& slab);
+
+/// Pull-streaming of post-collision populations into f, applying the
+/// half-way bounce-back rule at the channel walls (and at any interior
+/// obstacle). Requires the f-halo planes of f_post to be filled.
+void stream(Slab& slab);
+
+/// Recompute each component's number density n = sum_i f_i on the owned
+/// planes from the post-streaming populations.
+void compute_density(Slab& slab);
+
+/// Compute, on the owned planes: the common velocity u', the per-component
+/// forces (Shan–Chen inter-component interaction + hydrophobic wall force
+/// + driving body force), the per-component equilibrium velocities
+/// ueq = u' + tau F / rho, and the mixture observables (total density and
+/// force-corrected macroscopic velocity). Requires density halos filled.
+void compute_forces_and_velocity(Slab& slab);
+
+/// Total mass of a component over the owned planes (sum of n times
+/// molecular mass) — a conserved quantity used by tests.
+double owned_mass(const Slab& slab, std::size_t component);
+
+}  // namespace slipflow::lbm

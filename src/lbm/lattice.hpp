@@ -1,0 +1,83 @@
+#pragma once
+/// \file lattice.hpp
+/// The D3Q19 velocity set (Figure 1 of the paper) and derived constant
+/// tables: quadrature weights, opposite directions for bounce-back, and
+/// the direction groups whose populations cross slab boundaries during
+/// the halo exchange of the parallel code (Section 2.2).
+
+#include <array>
+#include <cstddef>
+
+namespace slipflow::lbm {
+
+/// Number of discrete velocities in the D3Q19 model.
+inline constexpr int kQ = 19;
+
+/// Lattice speed of sound squared (lattice units).
+inline constexpr double kCs2 = 1.0 / 3.0;
+
+/// Discrete velocity components. Index 0 is the rest particle, 1..6 are
+/// the axis directions, 7..18 the face diagonals.
+inline constexpr std::array<int, kQ> kCx = {
+    0, 1, -1, 0, 0, 0, 0, 1, 1, 1, 1, -1, -1, -1, -1, 0, 0, 0, 0};
+inline constexpr std::array<int, kQ> kCy = {
+    0, 0, 0, 1, -1, 0, 0, 1, -1, 0, 0, 1, -1, 0, 0, 1, 1, -1, -1};
+inline constexpr std::array<int, kQ> kCz = {
+    0, 0, 0, 0, 0, 1, -1, 0, 0, 1, -1, 0, 0, 1, -1, 1, -1, 1, -1};
+
+/// Quadrature weights: 1/3 for rest, 1/18 on the axes, 1/36 on diagonals.
+inline constexpr std::array<double, kQ> kWeight = {
+    1.0 / 3.0,  1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0,
+    1.0 / 18.0, 1.0 / 18.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+    1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+    1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0};
+
+namespace detail {
+constexpr std::array<int, kQ> make_opposites() {
+  std::array<int, kQ> opp{};
+  for (int i = 0; i < kQ; ++i) {
+    for (int j = 0; j < kQ; ++j) {
+      if (kCx[j] == -kCx[i] && kCy[j] == -kCy[i] && kCz[j] == -kCz[i]) {
+        opp[i] = j;
+        break;
+      }
+    }
+  }
+  return opp;
+}
+
+constexpr int count_with_cx(int cx) {
+  int n = 0;
+  for (int i = 0; i < kQ; ++i)
+    if (kCx[i] == cx) ++n;
+  return n;
+}
+
+template <int N>
+constexpr std::array<int, N> dirs_with_cx(int cx) {
+  std::array<int, N> out{};
+  int n = 0;
+  for (int i = 0; i < kQ; ++i)
+    if (kCx[i] == cx) out[n++] = i;
+  return out;
+}
+}  // namespace detail
+
+/// opposite(i) reverses the velocity: c[opposite(i)] == -c[i]. Used by the
+/// half-way bounce-back rule at the channel walls.
+inline constexpr std::array<int, kQ> kOpposite = detail::make_opposites();
+
+/// Number of directions with positive / negative x-component (5 each in
+/// D3Q19). These populations cross slab boundaries and must be exchanged
+/// with the right / left neighbor every phase (Section 2.2 of the paper).
+inline constexpr int kXDirCount = detail::count_with_cx(1);
+static_assert(kXDirCount == 5);
+
+/// Directions moving toward +x (sent to the right neighbor).
+inline constexpr std::array<int, kXDirCount> kRightGoing =
+    detail::dirs_with_cx<kXDirCount>(1);
+/// Directions moving toward -x (sent to the left neighbor).
+inline constexpr std::array<int, kXDirCount> kLeftGoing =
+    detail::dirs_with_cx<kXDirCount>(-1);
+
+}  // namespace slipflow::lbm

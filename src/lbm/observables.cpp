@@ -1,0 +1,88 @@
+#include "lbm/observables.hpp"
+
+#include <algorithm>
+
+namespace slipflow::lbm {
+
+namespace {
+index_t owned_local_x(const Slab& slab, index_t gx) {
+  SLIPFLOW_REQUIRE_MSG(gx >= slab.x_begin() && gx < slab.x_end(),
+                       "slab does not own plane " << gx);
+  return slab.local_x(gx);
+}
+}  // namespace
+
+std::vector<double> density_profile_y(const Slab& slab, std::size_t component,
+                                      index_t gx, index_t z) {
+  const index_t lx = owned_local_x(slab, gx);
+  const Extents& st = slab.storage();
+  SLIPFLOW_REQUIRE(z >= 0 && z < st.nz);
+  std::vector<double> out(static_cast<std::size_t>(st.ny));
+  for (index_t y = 0; y < st.ny; ++y)
+    out[static_cast<std::size_t>(y)] =
+        slab.density(component)[st.idx(lx, y, z)];
+  return out;
+}
+
+std::vector<double> velocity_profile_y(const Slab& slab, index_t gx,
+                                       index_t z) {
+  const index_t lx = owned_local_x(slab, gx);
+  const Extents& st = slab.storage();
+  SLIPFLOW_REQUIRE(z >= 0 && z < st.nz);
+  std::vector<double> out(static_cast<std::size_t>(st.ny));
+  for (index_t y = 0; y < st.ny; ++y)
+    out[static_cast<std::size_t>(y)] =
+        slab.velocity().x()[st.idx(lx, y, z)];
+  return out;
+}
+
+std::vector<double> velocity_profile_z(const Slab& slab, index_t gx,
+                                       index_t y) {
+  const index_t lx = owned_local_x(slab, gx);
+  const Extents& st = slab.storage();
+  SLIPFLOW_REQUIRE(y >= 0 && y < st.ny);
+  std::vector<double> out(static_cast<std::size_t>(st.nz));
+  for (index_t z = 0; z < st.nz; ++z)
+    out[static_cast<std::size_t>(z)] =
+        slab.velocity().x()[st.idx(lx, y, z)];
+  return out;
+}
+
+SlipMeasurement measure_slip(const std::vector<double>& ux) {
+  SLIPFLOW_REQUIRE(ux.size() >= 4);
+  SlipMeasurement m;
+  m.u_center = *std::max_element(ux.begin(), ux.end());
+  m.u_wall_node = ux.front();
+  // nodes sit at distances 0.5 and 1.5 from the wall surface, so the
+  // surface value is u0 + (u0 - u1)/2.
+  m.u_wall = 1.5 * ux[0] - 0.5 * ux[1];
+  m.slip_fraction = m.u_center != 0.0 ? m.u_wall / m.u_center : 0.0;
+  return m;
+}
+
+double navier_slip_length(const std::vector<double>& ux) {
+  SLIPFLOW_REQUIRE(ux.size() >= 4);
+  const SlipMeasurement m = measure_slip(ux);
+  const double slope = ux[1] - ux[0];  // du/dy over one lattice spacing
+  if (slope == 0.0) return 0.0;
+  return m.u_wall / slope;
+}
+
+double owned_momentum_x(const Slab& slab) {
+  const Extents& st = slab.storage();
+  const index_t first = st.plane_cells();
+  const index_t count = slab.nx_local() * st.plane_cells();
+  double p = 0.0;
+  for (index_t i = 0; i < count; ++i)
+    p += slab.total_density()[first + i] * slab.velocity().x()[first + i];
+  return p;
+}
+
+double plane_mass(const Slab& slab, std::size_t component, index_t gx) {
+  const index_t lx = owned_local_x(slab, gx);
+  double m = 0.0;
+  for (double v : slab.density(component).plane(lx)) m += v;
+  return m;
+}
+
+}  // namespace slipflow::lbm

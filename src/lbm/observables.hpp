@@ -1,0 +1,57 @@
+#pragma once
+/// \file observables.hpp
+/// Measurement helpers for the physics figures: density and velocity
+/// profiles across the channel width (Figures 6 and 7) and the apparent
+/// slip extracted from them.
+
+#include <vector>
+
+#include "lbm/slab.hpp"
+
+namespace slipflow::lbm {
+
+/// Number density of one component along y at fixed global x and z.
+/// The slab must own plane gx.
+std::vector<double> density_profile_y(const Slab& slab, std::size_t component,
+                                      index_t gx, index_t z);
+
+/// Streamwise velocity u_x along y at fixed global x and z.
+std::vector<double> velocity_profile_y(const Slab& slab, index_t gx,
+                                       index_t z);
+
+/// Streamwise velocity u_x along z at fixed global x and y.
+std::vector<double> velocity_profile_z(const Slab& slab, index_t gx,
+                                       index_t y);
+
+/// Apparent-slip quantities extracted from a cross-channel velocity
+/// profile, following the paper's Figure 7 presentation: everything is
+/// normalized by the centerline (free-stream) velocity u0.
+struct SlipMeasurement {
+  double u_center = 0.0;      ///< centerline streamwise velocity u0
+  double u_wall_node = 0.0;   ///< velocity at the wall-adjacent node
+  double u_wall = 0.0;        ///< linear extrapolation to the wall surface
+  double slip_fraction = 0.0; ///< u_wall / u_center — the paper's "% slip"
+};
+
+/// Extract slip from a profile whose samples sit at half-way node
+/// positions (node j at distance j + 1/2 from the wall). Needs >= 4
+/// samples; the centerline value is the profile maximum.
+SlipMeasurement measure_slip(const std::vector<double>& ux_profile);
+
+/// Navier slip length b (lattice units) from the same profile:
+/// u_wall = b * (du/dn)|wall, the standard microfluidics slip metric the
+/// experimental literature the paper builds on reports (e.g. ~1 um for
+/// Tretheway & Meinhart). Uses the wall-extrapolated velocity and the
+/// near-wall velocity gradient; returns 0 for a no-slip profile and can
+/// be slightly negative for a sticking one.
+double navier_slip_length(const std::vector<double>& ux_profile);
+
+/// Total x-momentum of the mixture over the slab's owned cells
+/// (sum of rho * u_x); used by conservation tests.
+double owned_momentum_x(const Slab& slab);
+
+/// Sum of a component's number density over one yz-plane (owned) —
+/// handy invariant for migration tests.
+double plane_mass(const Slab& slab, std::size_t component, index_t gx);
+
+}  // namespace slipflow::lbm

@@ -1,0 +1,49 @@
+#pragma once
+/// \file stepper.hpp
+/// Phase orchestration: runs the kernel sequence of Figure 2 on a Slab,
+/// with the two communication points abstracted behind HaloExchanger so
+/// the same stepping code serves the sequential simulation (periodic
+/// self-exchange), the thread-parallel runner (real message passing) and
+/// the tests.
+
+#include "lbm/kernels.hpp"
+#include "lbm/slab.hpp"
+
+namespace slipflow::lbm {
+
+/// Fills a slab's halo planes. Implementations: PeriodicSelfExchanger
+/// (sequential, x-periodic wrap onto itself) and the transport-backed
+/// exchanger inside sim::ParallelLbm.
+class HaloExchanger {
+ public:
+  virtual ~HaloExchanger() = default;
+
+  /// Fill both f_post halo planes (the five x-crossing directions each
+  /// way, all components) from the x-neighbors (Figure 2, line 8).
+  virtual void exchange_f(Slab& slab) = 0;
+
+  /// Fill both number-density halo planes (Figure 2, line 14).
+  virtual void exchange_density(Slab& slab) = 0;
+};
+
+/// Periodic wrap of a slab that covers the whole domain onto itself:
+/// the left halo is the rightmost owned plane and vice versa.
+class PeriodicSelfExchanger final : public HaloExchanger {
+ public:
+  void exchange_f(Slab& slab) override;
+  void exchange_density(Slab& slab) override;
+
+ private:
+  std::vector<double> buf_;
+};
+
+/// Run the post-initialization priming pass: densities are already set by
+/// Slab::initialize, so exchange them and compute forces/velocities so the
+/// first collide() has valid inputs.
+void prime(Slab& slab, HaloExchanger& halo);
+
+/// Execute one full LBM phase (collide, f-exchange, stream + bounce-back,
+/// density, density-exchange, forces/velocity).
+void step_phase(Slab& slab, HaloExchanger& halo);
+
+}  // namespace slipflow::lbm

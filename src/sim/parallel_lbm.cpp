@@ -1,0 +1,429 @@
+#include "sim/parallel_lbm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "lbm/checkpoint.hpp"
+#include "lbm/stepper.hpp"
+
+namespace slipflow::sim {
+
+namespace {
+// Tags of the runner's protocol. Rightward = toward higher rank.
+constexpr int kTagFRight = 10;
+constexpr int kTagFLeft = 11;
+constexpr int kTagNRight = 12;
+constexpr int kTagNLeft = 13;
+constexpr int kTagInfo = 20;
+constexpr int kTagProposal = 21;
+constexpr int kTagPlanes = 22;
+constexpr int kTagProfile = 23;
+}  // namespace
+
+std::pair<lbm::index_t, lbm::index_t> initial_extent(lbm::index_t planes_total,
+                                                     int size, int rank) {
+  SLIPFLOW_REQUIRE(size >= 1 && rank >= 0 && rank < size);
+  SLIPFLOW_REQUIRE(planes_total >= size);
+  const lbm::index_t base = planes_total / size;
+  const lbm::index_t rem = planes_total % size;
+  const lbm::index_t mine = base + (rank < rem ? 1 : 0);
+  const lbm::index_t begin =
+      static_cast<lbm::index_t>(rank) * base + std::min<lbm::index_t>(rank, rem);
+  return {begin, mine};
+}
+
+/// Halo exchange over the periodic ring of ranks.
+class ParallelLbm::RingExchanger final : public lbm::HaloExchanger {
+ public:
+  explicit RingExchanger(transport::Communicator& comm) : comm_(comm) {}
+
+  void exchange_f(lbm::Slab& slab) override {
+    const std::size_t bytes = static_cast<std::size_t>(slab.f_halo_doubles());
+    send_buf_.resize(bytes);
+    // my right-boundary populations travel rightward to my right peer
+    slab.extract_f_halo(lbm::Side::right, send_buf_);
+    comm_.send(right_peer(), kTagFRight, send_buf_);
+    slab.extract_f_halo(lbm::Side::left, send_buf_);
+    comm_.send(left_peer(), kTagFLeft, send_buf_);
+    // receive the peer messages into the matching halo planes
+    const std::vector<double> from_left = comm_.recv(left_peer(), kTagFRight);
+    slab.insert_f_halo(lbm::Side::left, from_left);
+    const std::vector<double> from_right = comm_.recv(right_peer(), kTagFLeft);
+    slab.insert_f_halo(lbm::Side::right, from_right);
+  }
+
+  void exchange_density(lbm::Slab& slab) override {
+    const std::size_t bytes =
+        static_cast<std::size_t>(slab.density_halo_doubles());
+    send_buf_.resize(bytes);
+    slab.extract_density_halo(lbm::Side::right, send_buf_);
+    comm_.send(right_peer(), kTagNRight, send_buf_);
+    slab.extract_density_halo(lbm::Side::left, send_buf_);
+    comm_.send(left_peer(), kTagNLeft, send_buf_);
+    const std::vector<double> from_left = comm_.recv(left_peer(), kTagNRight);
+    slab.insert_density_halo(lbm::Side::left, from_left);
+    const std::vector<double> from_right = comm_.recv(right_peer(), kTagNLeft);
+    slab.insert_density_halo(lbm::Side::right, from_right);
+  }
+
+ private:
+  int left_peer() const {
+    return (comm_.rank() + comm_.size() - 1) % comm_.size();
+  }
+  int right_peer() const { return (comm_.rank() + 1) % comm_.size(); }
+
+  transport::Communicator& comm_;
+  std::vector<double> send_buf_;
+};
+
+ParallelLbm::ParallelLbm(RunnerConfig cfg, transport::Communicator& comm)
+    : cfg_(std::move(cfg)), comm_(comm) {
+  SLIPFLOW_REQUIRE(cfg_.remap_interval >= 1);
+  {
+    auto geom = std::make_shared<lbm::ChannelGeometry>(
+        cfg_.global, nullptr, cfg_.walls_y, cfg_.walls_z);
+    for (int w = 0; w < 4; ++w) {
+      const lbm::Vec3& u = cfg_.wall_velocity[static_cast<std::size_t>(w)];
+      if (u.norm2() > 0.0)
+        geom->set_wall_velocity(static_cast<lbm::ChannelGeometry::Wall>(w),
+                                u);
+    }
+    geom_ = std::move(geom);
+  }
+  const auto [begin, mine] =
+      initial_extent(cfg_.global.nx, comm_.size(), comm_.rank());
+  slab_ = std::make_unique<lbm::Slab>(geom_, cfg_.fluid, begin, mine);
+  halo_ = std::make_unique<RingExchanger>(comm_);
+  policy_ = balance::RemapPolicy::create(cfg_.policy);
+  balancer_ = std::make_unique<balance::NodeBalancer>(cfg_.balance, policy_);
+  stats_.rank = comm_.rank();
+  if (!cfg_.slowdown.empty()) {
+    SLIPFLOW_REQUIRE(cfg_.slowdown.size() ==
+                     static_cast<std::size_t>(comm_.size()));
+    slowdown_factor_ = cfg_.slowdown[static_cast<std::size_t>(comm_.rank())];
+    SLIPFLOW_REQUIRE(slowdown_factor_ >= 0.0);
+  }
+}
+
+ParallelLbm::~ParallelLbm() = default;
+
+void ParallelLbm::initialize(
+    const std::function<double(std::size_t, lbm::index_t, lbm::index_t,
+                               lbm::index_t)>& init_density) {
+  slab_->initialize(init_density);
+  lbm::prime(*slab_, *halo_);
+  initialized_ = true;
+}
+
+void ParallelLbm::initialize_uniform() {
+  slab_->initialize_uniform();
+  lbm::prime(*slab_, *halo_);
+  initialized_ = true;
+}
+
+void ParallelLbm::run(int phases) {
+  SLIPFLOW_REQUIRE_MSG(initialized_, "call initialize() before run()");
+  for (int p = 1; p <= phases; ++p) {
+    util::Stopwatch phase_watch;
+
+    // --- compute: collide --- (Figure 2 line 4)
+    util::Stopwatch w;
+    lbm::collide(*slab_);
+    double compute = w.seconds();
+
+    // --- communication: f halos --- (line 8)
+    w.reset();
+    halo_->exchange_f(*slab_);
+    stats_.comm_seconds += w.seconds();
+
+    // --- compute: stream + bounce-back + densities --- (lines 5,10,11)
+    w.reset();
+    lbm::stream(*slab_);
+    lbm::compute_density(*slab_);
+    compute += w.seconds();
+
+    // --- communication: density halos --- (line 14)
+    w.reset();
+    halo_->exchange_density(*slab_);
+    stats_.comm_seconds += w.seconds();
+
+    // --- compute: forces + velocity --- (lines 16,17)
+    w.reset();
+    lbm::compute_forces_and_velocity(*slab_);
+    compute += w.seconds();
+
+    if (slowdown_factor_ > 0.0) {
+      // emulate a node that keeps only 1/(1+s) of its CPU
+      const double extra = slowdown_factor_ * compute;
+      std::this_thread::sleep_for(std::chrono::duration<double>(extra));
+      compute += extra;
+    }
+    stats_.compute_seconds += compute;
+    balancer_->record_phase(std::max(compute, 1e-9), slab_->owned_cells());
+
+    // --- lattice point remapping --- (lines 20-32)
+    if (cfg_.policy != "none" && p % cfg_.remap_interval == 0) {
+      w.reset();
+      remap_step();
+      stats_.remap_seconds += w.seconds();
+    }
+    (void)phase_watch;
+  }
+  stats_.planes = slab_->nx_local();
+}
+
+void ParallelLbm::remap_step() {
+  if (policy_->global())
+    remap_global();
+  else
+    remap_local();
+}
+
+void ParallelLbm::send_planes(int peer, lbm::Side side, long long k) {
+  const lbm::index_t pc = slab_->plane_cells();
+  std::vector<double> msg(1 +
+                          static_cast<std::size_t>(slab_->migration_doubles(k)));
+  msg[0] = static_cast<double>(k);
+  if (k > 0) {
+    slab_->detach_planes(side, k, std::span<double>(msg).subspan(1));
+    stats_.planes_sent += k;
+  }
+  (void)pc;
+  comm_.send(peer, kTagPlanes, msg);
+}
+
+void ParallelLbm::recv_planes(int peer, lbm::Side side) {
+  const std::vector<double> msg = comm_.recv(peer, kTagPlanes);
+  SLIPFLOW_REQUIRE(!msg.empty());
+  const auto k = static_cast<long long>(msg[0]);
+  if (k > 0) {
+    slab_->attach_planes(side, k,
+                         std::span<const double>(msg).subspan(1));
+    stats_.planes_received += k;
+  }
+}
+
+void ParallelLbm::remap_local() {
+  const lbm::index_t pc = slab_->plane_cells();
+  const long long my_points = slab_->owned_cells();
+  const bool ready = balancer_->ready();
+
+  // 1. Exchange (points, predicted time, ready) with chain neighbors.
+  const double info[3] = {
+      static_cast<double>(my_points),
+      ready ? balancer_->predicted_time(my_points) : 0.0,
+      ready ? 1.0 : 0.0};
+  const int ln = left_neighbor();
+  const int rn = right_neighbor();
+  if (ln >= 0) comm_.send(ln, kTagInfo, std::span<const double>(info, 3));
+  if (rn >= 0) comm_.send(rn, kTagInfo, std::span<const double>(info, 3));
+  std::optional<balance::NodeLoad> left, right;
+  std::vector<double> linfo, rinfo;
+  if (ln >= 0) {
+    linfo = comm_.recv(ln, kTagInfo);
+    if (linfo[2] != 0.0) left = balance::NodeLoad{linfo[0], linfo[1]};
+  }
+  if (rn >= 0) {
+    rinfo = comm_.recv(rn, kTagInfo);
+    if (rinfo[2] != 0.0) right = balance::NodeLoad{rinfo[0], rinfo[1]};
+  }
+
+  // 2. Local decision, then exchange proposals across each boundary.
+  const balance::Proposal prop = balancer_->decide(left, my_points, right);
+  if (ln >= 0) {
+    const double v = static_cast<double>(prop.to_left);
+    comm_.send(ln, kTagProposal, std::span<const double>(&v, 1));
+  }
+  if (rn >= 0) {
+    const double v = static_cast<double>(prop.to_right);
+    comm_.send(rn, kTagProposal, std::span<const double>(&v, 1));
+  }
+  long long left_to_me = 0, right_to_me = 0;
+  if (ln >= 0)
+    left_to_me = static_cast<long long>(comm_.recv(ln, kTagProposal)[0]);
+  if (rn >= 0)
+    right_to_me = static_cast<long long>(comm_.recv(rn, kTagProposal)[0]);
+
+  // 3. Conflict resolution per boundary (both sides compute the same
+  //    net), then donor-clamped plane transfers. The header carries the
+  //    actual k, so clamping never needs cross-rank agreement.
+  const long long min_t = cfg_.balance.min_transfer_points;
+  const long long net_right =
+      rn >= 0 ? balance::resolve_pair(prop.to_right, right_to_me, min_t) : 0;
+  const long long net_left =
+      ln >= 0 ? balance::resolve_pair(left_to_me, prop.to_left, min_t) : 0;
+  // net_left > 0 means the left node ships to me (its rightward flow).
+
+  // All sends first (buffered), then receives — deadlock-free.
+  long long avail = slab_->nx_local();
+  if (net_right > 0) {
+    const long long k = balance::quantize_flow_to_planes(net_right, pc, avail);
+    avail -= k;
+    send_planes(rn, lbm::Side::right, k);
+  }
+  if (net_left < 0) {
+    const long long k =
+        std::llabs(balance::quantize_flow_to_planes(net_left, pc, avail));
+    send_planes(ln, lbm::Side::left, k);
+  }
+  if (net_right < 0) recv_planes(rn, lbm::Side::right);
+  if (net_left > 0) recv_planes(ln, lbm::Side::left);
+}
+
+void ParallelLbm::remap_global() {
+  const lbm::index_t pc = slab_->plane_cells();
+  const long long my_points = slab_->owned_cells();
+  const bool ready = balancer_->ready();
+  const double info[3] = {
+      static_cast<double>(my_points),
+      ready ? balancer_->predicted_time(my_points) : 0.0,
+      ready ? 1.0 : 0.0};
+  const std::vector<double> all =
+      comm_.allgather(std::span<const double>(info, 3));
+
+  const int n = comm_.size();
+  std::vector<balance::NodeLoad> loads;
+  std::vector<long long> current;
+  loads.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const std::size_t o = 3 * static_cast<std::size_t>(i);
+    if (all[o + 2] == 0.0) return;  // someone's window not full yet
+    loads.push_back(balance::NodeLoad{all[o], all[o + 1]});
+    current.push_back(static_cast<long long>(all[o]));
+  }
+  const std::vector<long long> target =
+      policy_->decide_global(loads, cfg_.balance);
+  const std::vector<long long> flows =
+      balance::boundary_flows(current, target);
+
+  // Every rank deterministically simulates the clamped execution plan.
+  std::vector<long long> planes(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    planes[static_cast<std::size_t>(i)] =
+        current[static_cast<std::size_t>(i)] / pc;
+  struct Transfer {
+    int donor, recv;
+    long long k;
+  };
+  std::vector<Transfer> plan;
+  for (int b = 0; b + 1 < n; ++b) {
+    const long long f = flows[static_cast<std::size_t>(b)];
+    if (std::llabs(f) < cfg_.balance.min_transfer_points) continue;
+    const int donor = f > 0 ? b : b + 1;
+    const int recv = f > 0 ? b + 1 : b;
+    const long long k = std::llabs(balance::quantize_flow_to_planes(
+        f, pc, planes[static_cast<std::size_t>(donor)]));
+    if (k == 0) continue;
+    planes[static_cast<std::size_t>(donor)] -= k;
+    planes[static_cast<std::size_t>(recv)] += k;
+    plan.push_back({donor, recv, k});
+  }
+
+  const int me = comm_.rank();
+  for (const Transfer& tr : plan) {
+    if (tr.donor != me) continue;
+    send_planes(tr.recv, tr.recv > me ? lbm::Side::right : lbm::Side::left,
+                tr.k);
+  }
+  for (const Transfer& tr : plan) {
+    if (tr.recv != me) continue;
+    recv_planes(tr.donor, tr.donor > me ? lbm::Side::right : lbm::Side::left);
+  }
+}
+
+std::vector<RankStats> ParallelLbm::gather_stats() {
+  stats_.planes = slab_->nx_local();
+  const double mine[6] = {static_cast<double>(stats_.planes),
+                          stats_.compute_seconds,
+                          stats_.comm_seconds,
+                          stats_.remap_seconds,
+                          static_cast<double>(stats_.planes_sent),
+                          static_cast<double>(stats_.planes_received)};
+  const std::vector<double> all =
+      comm_.allgather(std::span<const double>(mine, 6));
+  std::vector<RankStats> out(static_cast<std::size_t>(comm_.size()));
+  for (int r = 0; r < comm_.size(); ++r) {
+    const std::size_t o = 6 * static_cast<std::size_t>(r);
+    auto& s = out[static_cast<std::size_t>(r)];
+    s.rank = r;
+    s.planes = static_cast<long long>(all[o]);
+    s.compute_seconds = all[o + 1];
+    s.comm_seconds = all[o + 2];
+    s.remap_seconds = all[o + 3];
+    s.planes_sent = static_cast<long long>(all[o + 4]);
+    s.planes_received = static_cast<long long>(all[o + 5]);
+  }
+  return out;
+}
+
+namespace {
+/// Gather pattern shared by the profile getters: the plane owner ships
+/// the profile to rank 0.
+std::vector<double> gather_profile(
+    transport::Communicator& comm, const lbm::Slab& slab, lbm::index_t gx,
+    const std::function<std::vector<double>()>& local_profile) {
+  const double ext[2] = {static_cast<double>(slab.x_begin()),
+                         static_cast<double>(slab.nx_local())};
+  const std::vector<double> all =
+      comm.allgather(std::span<const double>(ext, 2));
+  int owner = -1;
+  for (int r = 0; r < comm.size(); ++r) {
+    const auto b = static_cast<lbm::index_t>(all[2 * static_cast<std::size_t>(r)]);
+    const auto nl =
+        static_cast<lbm::index_t>(all[2 * static_cast<std::size_t>(r) + 1]);
+    if (gx >= b && gx < b + nl) {
+      owner = r;
+      break;
+    }
+  }
+  SLIPFLOW_REQUIRE_MSG(owner >= 0, "no rank owns plane " << gx);
+  if (comm.rank() == owner) {
+    std::vector<double> prof = local_profile();
+    if (owner == 0) return prof;
+    comm.send(0, kTagProfile, prof);
+    return {};
+  }
+  if (comm.rank() == 0) return comm.recv(owner, kTagProfile);
+  return {};
+}
+}  // namespace
+
+std::vector<double> ParallelLbm::gather_velocity_profile_y(lbm::index_t gx,
+                                                           lbm::index_t z) {
+  return gather_profile(comm_, *slab_, gx, [&] {
+    return lbm::velocity_profile_y(*slab_, gx, z);
+  });
+}
+
+std::vector<double> ParallelLbm::gather_density_profile_y(
+    std::size_t component, lbm::index_t gx, lbm::index_t z) {
+  return gather_profile(comm_, *slab_, gx, [&] {
+    return lbm::density_profile_y(*slab_, component, gx, z);
+  });
+}
+
+double ParallelLbm::global_mass(std::size_t component) {
+  return comm_.allreduce_sum(lbm::owned_mass(*slab_, component));
+}
+
+void ParallelLbm::save_checkpoint(const std::string& path, long long phase) {
+  SLIPFLOW_REQUIRE_MSG(initialized_, "nothing to checkpoint yet");
+  if (comm_.rank() == 0) {
+    lbm::begin_checkpoint(cfg_.global, slab_->num_components(), phase,
+                          slab_->migration_doubles(1), path);
+  }
+  comm_.barrier();  // the file must exist before anyone writes planes
+  lbm::write_checkpoint_planes(*slab_, path);
+  comm_.barrier();  // and be complete before anyone reads it back
+}
+
+long long ParallelLbm::load_checkpoint(const std::string& path) {
+  const long long phase = lbm::load_checkpoint_planes(*slab_, path);
+  comm_.barrier();
+  initialized_ = true;
+  return phase;
+}
+
+}  // namespace slipflow::sim

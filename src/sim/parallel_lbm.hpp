@@ -1,0 +1,137 @@
+#pragma once
+/// \file parallel_lbm.hpp
+/// The paper's parallel program (Figure 2) with real data: each rank owns
+/// a slab of the microchannel, exchanges halos with its x-neighbors every
+/// phase, and every REMAPPING_INTERVAL phases runs the remapping protocol
+/// — measuring its own compute speed, exchanging load indexes with its
+/// chain neighbors (or allgathering for the global policy), and migrating
+/// whole yz-planes of actual lattice state between slabs.
+///
+/// The physical domain is x-periodic (rank 0 and rank P-1 exchange halos
+/// across the wrap), while the remapping topology is the paper's *linear
+/// array* — planes never migrate across the periodic seam.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "balance/remapper.hpp"
+#include "lbm/observables.hpp"
+#include "lbm/simulation.hpp"
+#include "transport/communicator.hpp"
+#include "util/stopwatch.hpp"
+
+namespace slipflow::sim {
+
+struct RunnerConfig {
+  lbm::Extents global;
+  lbm::FluidParams fluid;
+  /// Solid walls at the y / z extents (else periodic).
+  bool walls_y = true;
+  bool walls_z = true;
+  /// Tangential wall velocities, indexed by ChannelGeometry::Wall
+  /// (y_low, y_high, z_low, z_high); all zero = resting walls.
+  std::array<lbm::Vec3, 4> wall_velocity{};
+  balance::BalanceConfig balance;
+  /// Remap policy name: "none", "conservative", "filtered", "global".
+  std::string policy = "none";
+  /// Phases between remapping checks.
+  int remap_interval = 10;
+  /// Optional artificial per-rank slowdown for experiments on this
+  /// machine: rank r sleeps slowdown[r] x (its measured compute time)
+  /// after each phase's compute, emulating a node at share
+  /// 1/(1+slowdown[r]). Empty = no injection.
+  std::vector<double> slowdown;
+};
+
+/// Per-rank cost/ownership summary after a run.
+struct RankStats {
+  int rank = 0;
+  long long planes = 0;          ///< owned planes at the end
+  double compute_seconds = 0.0;  ///< kernels (incl. injected slowdown)
+  double comm_seconds = 0.0;     ///< halo exchanges
+  double remap_seconds = 0.0;    ///< remapping protocol + migration
+  long long planes_sent = 0;
+  long long planes_received = 0;
+};
+
+/// One rank's instance of the parallel simulation.
+class ParallelLbm {
+ public:
+  ParallelLbm(RunnerConfig cfg, transport::Communicator& comm);
+  ~ParallelLbm();  // out of line: RingExchanger is an incomplete type here
+
+  /// Initialize densities from a function of global coordinates (all
+  /// ranks must pass the same function) and prime forces/velocities.
+  void initialize(const std::function<double(std::size_t, lbm::index_t,
+                                             lbm::index_t, lbm::index_t)>&
+                      init_density);
+  void initialize_uniform();
+
+  /// Advance `phases` phases, remapping on the configured interval.
+  void run(int phases);
+
+  const lbm::Slab& slab() const { return *slab_; }
+  lbm::Slab& slab() { return *slab_; }
+  const RankStats& stats() const { return stats_; }
+
+  /// Gather the per-rank stats on every rank (allgather).
+  std::vector<RankStats> gather_stats();
+
+  /// Gather a full-domain y-profile on rank 0 (empty on other ranks).
+  /// All ranks must call these collectively.
+  std::vector<double> gather_velocity_profile_y(lbm::index_t gx,
+                                                lbm::index_t z);
+  std::vector<double> gather_density_profile_y(std::size_t component,
+                                               lbm::index_t gx,
+                                               lbm::index_t z);
+
+  /// Total mass of one component across all ranks (identical everywhere).
+  double global_mass(std::size_t component);
+
+  /// Collective checkpoint: rank 0 creates the file, then every rank
+  /// writes its own plane range. Because the format is per-plane, the
+  /// checkpoint can later be restored on a *different* number of ranks.
+  void save_checkpoint(const std::string& path, long long phase = 0);
+
+  /// Collective restore: every rank loads the planes of its current
+  /// extent. Counts as initialization. Returns the stored phase count.
+  long long load_checkpoint(const std::string& path);
+
+ private:
+  class RingExchanger;
+
+  void remap_step();
+  void remap_local();
+  void remap_global();
+  /// Donor-side transfer: detach k planes at `side` and ship them; k may
+  /// be clamped to 0, in which case an empty header still goes out so the
+  /// receiver never blocks.
+  void send_planes(int peer, lbm::Side side, long long k);
+  void recv_planes(int peer, lbm::Side side);
+
+  int left_neighbor() const { return comm_.rank() > 0 ? comm_.rank() - 1 : -1; }
+  int right_neighbor() const {
+    return comm_.rank() + 1 < comm_.size() ? comm_.rank() + 1 : -1;
+  }
+
+  RunnerConfig cfg_;
+  transport::Communicator& comm_;
+  std::shared_ptr<const lbm::ChannelGeometry> geom_;
+  std::unique_ptr<lbm::Slab> slab_;
+  std::unique_ptr<RingExchanger> halo_;
+  std::shared_ptr<const balance::RemapPolicy> policy_;
+  std::unique_ptr<balance::NodeBalancer> balancer_;
+  RankStats stats_;
+  double slowdown_factor_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Convenience: the initial even decomposition (same rule as the virtual
+/// cluster): returns {x_begin, nx_local} of `rank` among `size` ranks.
+std::pair<lbm::index_t, lbm::index_t> initial_extent(lbm::index_t planes_total,
+                                                     int size, int rank);
+
+}  // namespace slipflow::sim

@@ -1,0 +1,61 @@
+#pragma once
+/// \file communicator.hpp
+/// MPI-flavored message passing abstraction.
+///
+/// The paper's code is plain MPI on a Linux cluster. This machine has no
+/// MPI and no cluster, so the library programs against this narrow
+/// interface instead; ThreadComm (threads-as-ranks in one process, see
+/// thread_comm.hpp) provides real concurrent message passing with the
+/// same semantics the parallel LBM needs: point-to-point tagged messages
+/// of doubles, barrier, allgather and sum/max reductions.
+///
+/// Sends are buffered (they never block on the receiver), so the
+/// neighbor-exchange pattern "send left, send right, recv left, recv
+/// right" is deadlock-free exactly as with MPI_Bsend/eager-mode MPI.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace slipflow::transport {
+
+/// Message tags used by the parallel LBM runner; user code may use any
+/// other values.
+enum Tag : int {
+  kTagFHalo = 1,
+  kTagDensityHalo = 2,
+  kTagLoadIndex = 3,
+  kTagMigrationMeta = 4,
+  kTagMigrationData = 5,
+  kTagGather = 6,
+  kTagUser = 100,
+};
+
+/// One rank's endpoint. Implementations must be usable concurrently from
+/// the owning rank's thread only.
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// Buffered, non-blocking-on-receiver send of a double payload.
+  virtual void send(int dest, int tag, std::span<const double> data) = 0;
+
+  /// Blocking receive of the oldest matching message from (src, tag).
+  virtual std::vector<double> recv(int src, int tag) = 0;
+
+  /// Block until every rank reached the barrier.
+  virtual void barrier() = 0;
+
+  /// Gather equal-size contributions from all ranks; the result is the
+  /// concatenation ordered by rank, identical on every rank.
+  virtual std::vector<double> allgather(std::span<const double> mine) = 0;
+
+  /// Global sum / max of one double, identical on every rank.
+  virtual double allreduce_sum(double x) = 0;
+  virtual double allreduce_max(double x) = 0;
+};
+
+}  // namespace slipflow::transport

@@ -1,0 +1,50 @@
+#pragma once
+/// \file serial_comm.hpp
+/// Single-rank Communicator: collectives are identities and self-sends
+/// are an in-memory queue. Lets every parallel code path run unmodified
+/// with one rank (useful for tests and as the "sequential" configuration
+/// of the parallel runner).
+
+#include <deque>
+#include <map>
+
+#include "transport/communicator.hpp"
+#include "util/require.hpp"
+
+namespace slipflow::transport {
+
+class SerialComm final : public Communicator {
+ public:
+  int rank() const override { return 0; }
+  int size() const override { return 1; }
+
+  void send(int dest, int tag, std::span<const double> data) override {
+    SLIPFLOW_REQUIRE(dest == 0);
+    mail_[tag].emplace_back(data.begin(), data.end());
+  }
+
+  std::vector<double> recv(int src, int tag) override {
+    SLIPFLOW_REQUIRE(src == 0);
+    auto it = mail_.find(tag);
+    SLIPFLOW_REQUIRE_MSG(it != mail_.end() && !it->second.empty(),
+                         "SerialComm: blocking recv with empty mailbox would "
+                         "deadlock (tag " << tag << ")");
+    std::vector<double> out = std::move(it->second.front());
+    it->second.pop_front();
+    return out;
+  }
+
+  void barrier() override {}
+
+  std::vector<double> allgather(std::span<const double> mine) override {
+    return {mine.begin(), mine.end()};
+  }
+
+  double allreduce_sum(double x) override { return x; }
+  double allreduce_max(double x) override { return x; }
+
+ private:
+  std::map<int, std::deque<std::vector<double>>> mail_;
+};
+
+}  // namespace slipflow::transport

@@ -1,0 +1,162 @@
+#include "transport/thread_comm.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+#include "util/require.hpp"
+
+namespace slipflow::transport {
+
+namespace detail {
+
+/// Shared state of one run_ranks invocation.
+struct ThreadCommShared {
+  explicit ThreadCommShared(int n)
+      : nranks(n), contributions(static_cast<std::size_t>(n)) {}
+
+  const int nranks;
+
+  std::mutex mu;
+  std::condition_variable cv;
+
+  /// Mailboxes keyed by (dst, src, tag); FIFO per key, matching MPI's
+  /// non-overtaking guarantee for identical (src, dst, tag).
+  std::map<std::tuple<int, int, int>, std::deque<std::vector<double>>> mail;
+
+  /// Generation barrier / collective state.
+  long generation = 0;
+  int arrived = 0;
+  std::vector<std::vector<double>> contributions;
+  std::shared_ptr<const std::vector<double>> collective_result;
+
+  /// Set when a rank died with an exception; wakes all waiters.
+  bool poisoned = false;
+  std::exception_ptr first_error;
+
+  void poison(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lk(mu);
+    if (!first_error) first_error = e;
+    poisoned = true;
+    cv.notify_all();
+  }
+
+  void check_poison_locked() const {
+    if (poisoned)
+      throw contract_error("transport poisoned: another rank failed");
+  }
+};
+
+namespace {
+
+class Endpoint final : public Communicator {
+ public:
+  Endpoint(ThreadCommShared& sh, int rank) : sh_(sh), rank_(rank) {}
+
+  int rank() const override { return rank_; }
+  int size() const override { return sh_.nranks; }
+
+  void send(int dest, int tag, std::span<const double> data) override {
+    SLIPFLOW_REQUIRE(dest >= 0 && dest < sh_.nranks);
+    std::lock_guard<std::mutex> lk(sh_.mu);
+    sh_.mail[{dest, rank_, tag}].emplace_back(data.begin(), data.end());
+    sh_.cv.notify_all();
+  }
+
+  std::vector<double> recv(int src, int tag) override {
+    SLIPFLOW_REQUIRE(src >= 0 && src < sh_.nranks);
+    std::unique_lock<std::mutex> lk(sh_.mu);
+    const std::tuple<int, int, int> key{rank_, src, tag};
+    sh_.cv.wait(lk, [&] {
+      if (sh_.poisoned) return true;
+      const auto it = sh_.mail.find(key);
+      return it != sh_.mail.end() && !it->second.empty();
+    });
+    sh_.check_poison_locked();
+    auto& q = sh_.mail.find(key)->second;
+    std::vector<double> out = std::move(q.front());
+    q.pop_front();
+    return out;
+  }
+
+  void barrier() override { collective({}, /*want_result=*/false); }
+
+  std::vector<double> allgather(std::span<const double> mine) override {
+    return collective(mine, /*want_result=*/true);
+  }
+
+  double allreduce_sum(double x) override {
+    const std::vector<double> all = allgather(std::span<const double>(&x, 1));
+    double s = 0.0;
+    for (double v : all) s += v;
+    return s;
+  }
+
+  double allreduce_max(double x) override {
+    const std::vector<double> all = allgather(std::span<const double>(&x, 1));
+    double m = all.front();
+    for (double v : all) m = v > m ? v : m;
+    return m;
+  }
+
+ private:
+  /// Generation-counting barrier; the last arriver optionally assembles
+  /// the allgather result, which stays valid for readers of this
+  /// generation even after later collectives start (shared_ptr snapshot).
+  std::vector<double> collective(std::span<const double> mine,
+                                 bool want_result) {
+    std::unique_lock<std::mutex> lk(sh_.mu);
+    sh_.check_poison_locked();
+    sh_.contributions[static_cast<std::size_t>(rank_)].assign(mine.begin(),
+                                                              mine.end());
+    const long my_gen = sh_.generation;
+    if (++sh_.arrived == sh_.nranks) {
+      auto result = std::make_shared<std::vector<double>>();
+      if (want_result) {
+        for (const auto& c : sh_.contributions)
+          result->insert(result->end(), c.begin(), c.end());
+      }
+      sh_.collective_result = std::move(result);
+      sh_.arrived = 0;
+      ++sh_.generation;
+      sh_.cv.notify_all();
+    } else {
+      sh_.cv.wait(lk,
+                  [&] { return sh_.generation != my_gen || sh_.poisoned; });
+      sh_.check_poison_locked();
+    }
+    return want_result ? *sh_.collective_result : std::vector<double>{};
+  }
+
+  ThreadCommShared& sh_;
+  const int rank_;
+};
+
+}  // namespace
+}  // namespace detail
+
+void run_ranks(int nranks, const std::function<void(Communicator&)>& fn) {
+  SLIPFLOW_REQUIRE(nranks >= 1);
+  SLIPFLOW_REQUIRE(fn != nullptr);
+  detail::ThreadCommShared shared(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&shared, &fn, r] {
+      detail::Endpoint ep(shared, r);
+      try {
+        fn(ep);
+      } catch (...) {
+        shared.poison(std::current_exception());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (shared.first_error) std::rethrow_exception(shared.first_error);
+}
+
+}  // namespace slipflow::transport

@@ -1,0 +1,33 @@
+#pragma once
+/// \file thread_comm.hpp
+/// Threads-as-ranks transport: runs N ranks as N threads of this process,
+/// each handed a Communicator endpoint backed by shared mailboxes.
+///
+/// This is the substitution for the paper's MPI cluster (see DESIGN.md):
+/// the decomposition, message pattern, synchronization structure and the
+/// remapping logic run unchanged; only the wire is a mutex-protected
+/// queue instead of a Gigabit switch.
+
+#include <functional>
+#include <memory>
+
+#include "transport/communicator.hpp"
+
+namespace slipflow::transport {
+
+namespace detail {
+struct ThreadCommShared;
+}
+
+/// Runs `fn(comm)` on `nranks` concurrent threads, rank r getting a
+/// Communicator with rank()==r. Blocks until every rank returns.
+///
+/// If any rank throws, the remaining ranks are allowed to finish or block
+/// forever is avoided by the caller's protocol — rank functions should
+/// only throw on programming errors. The first exception is rethrown to
+/// the caller after all threads are joined; to keep joins from hanging,
+/// an exception in one rank poisons the mailboxes so blocked receives in
+/// other ranks throw too.
+void run_ranks(int nranks, const std::function<void(Communicator&)>& fn);
+
+}  // namespace slipflow::transport

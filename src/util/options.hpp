@@ -1,0 +1,43 @@
+#pragma once
+/// \file options.hpp
+/// Minimal command-line option parsing for the examples and the benchmark
+/// harnesses: `--key=value` and `--flag` forms, with typed getters and
+/// defaults. Unknown keys are an error so typos in sweep scripts fail fast.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace slipflow::util {
+
+/// Parsed `--key=value` options.
+class Options {
+ public:
+  /// Parse argv. Accepts `--key=value` and bare `--flag` (value "1").
+  /// Anything not starting with `--` is collected as a positional argument.
+  static Options parse(int argc, const char* const* argv);
+
+  /// Typed getters with defaults. Throw slipflow::contract_error when the
+  /// value cannot be converted.
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long long get(const std::string& key, long long fallback) const;
+  double get(const std::string& key, double fallback) const;
+  bool get(const std::string& key, bool fallback) const;
+
+  /// True if the key was supplied on the command line.
+  bool has(const std::string& key) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys the program never queried — used to reject typos: call after all
+  /// get()/has() calls and fail if non-empty.
+  std::vector<std::string> unused_keys() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  mutable std::map<std::string, bool> touched_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace slipflow::util

@@ -1,0 +1,47 @@
+#pragma once
+/// \file require.hpp
+/// Precondition / invariant checking that stays on in release builds.
+///
+/// The library is used both as a physics code and as a performance-model
+/// harness; silent out-of-contract calls are far more expensive to debug
+/// than the cost of a predictable branch, so SLIPFLOW_REQUIRE is always
+/// compiled in (C++ Core Guidelines I.6: prefer expressing preconditions).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace slipflow {
+
+/// Thrown when a documented precondition of a public API is violated.
+class contract_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw contract_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace slipflow
+
+/// Check a precondition; throws slipflow::contract_error on failure.
+#define SLIPFLOW_REQUIRE(expr)                                          \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::slipflow::detail::require_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Check a precondition with an explanatory message.
+#define SLIPFLOW_REQUIRE_MSG(expr, msg)                                  \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::slipflow::detail::require_failed(#expr, __FILE__, __LINE__,      \
+                                         (std::ostringstream{} << msg).str()); \
+  } while (false)

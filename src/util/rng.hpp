@@ -1,0 +1,70 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, seedable pseudo-random number generation.
+///
+/// The virtual-cluster experiments (random transient spikes, Table 1) must
+/// be reproducible across runs and platforms, so we carry our own small
+/// generator instead of relying on implementation-defined std::
+/// distributions. xoshiro256** — fast, well-tested, and tiny.
+
+#include <cstdint>
+
+#include "util/require.hpp"
+
+namespace slipflow::util {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference code).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-initialize the state from a single seed via splitmix64.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : s_) {
+      seed += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    SLIPFLOW_REQUIRE(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n) using rejection-free Lemire reduction.
+  std::uint64_t below(std::uint64_t n) {
+    SLIPFLOW_REQUIRE(n > 0);
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace slipflow::util

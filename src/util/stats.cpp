@@ -1,0 +1,85 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace slipflow::util {
+
+double mean(std::span<const double> xs) {
+  SLIPFLOW_REQUIRE(!xs.empty());
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  SLIPFLOW_REQUIRE(!xs.empty());
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double harmonic_mean(std::span<const double> xs) {
+  SLIPFLOW_REQUIRE(!xs.empty());
+  double inv = 0.0;
+  for (double x : xs) {
+    SLIPFLOW_REQUIRE_MSG(x > 0.0, "harmonic mean needs positive samples");
+    inv += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / inv;
+}
+
+double min(std::span<const double> xs) {
+  SLIPFLOW_REQUIRE(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  SLIPFLOW_REQUIRE(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double q) {
+  SLIPFLOW_REQUIRE(!xs.empty());
+  SLIPFLOW_REQUIRE(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+SampleWindow::SampleWindow(std::size_t cap) : buf_(cap) {
+  SLIPFLOW_REQUIRE(cap > 0);
+}
+
+void SampleWindow::push(double x) {
+  if (size_ < buf_.size()) {
+    buf_[(head_ + size_) % buf_.size()] = x;
+    ++size_;
+  } else {
+    buf_[head_] = x;
+    head_ = (head_ + 1) % buf_.size();
+  }
+}
+
+std::vector<double> SampleWindow::samples() const {
+  std::vector<double> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i)
+    out.push_back(buf_[(head_ + i) % buf_.size()]);
+  return out;
+}
+
+void SampleWindow::clear() {
+  head_ = 0;
+  size_ = 0;
+}
+
+}  // namespace slipflow::util

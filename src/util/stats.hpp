@@ -1,0 +1,62 @@
+#pragma once
+/// \file stats.hpp
+/// Small statistics helpers used by the load predictors, the virtual
+/// cluster and the benchmark harnesses.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace slipflow::util {
+
+/// Arithmetic mean of a non-empty range.
+double mean(std::span<const double> xs);
+
+/// Population standard deviation of a non-empty range.
+double stddev(std::span<const double> xs);
+
+/// Harmonic mean K / sum(1/x_i) of a non-empty range of positive values.
+///
+/// This is the paper's load-index estimator (§3.4): it is dominated by the
+/// *small* samples, so a single slow phase (load spike) barely moves it,
+/// which is exactly the "lazy" behavior filtered remapping wants.
+double harmonic_mean(std::span<const double> xs);
+
+/// Minimum / maximum of a non-empty range.
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Linear-interpolated percentile (q in [0,1]) of a non-empty range.
+/// The input is copied and sorted; intended for reporting, not hot paths.
+double percentile(std::span<const double> xs, double q);
+
+/// Fixed-capacity ring buffer over the most recent N samples.
+///
+/// Used to hold the last-K phase times that feed the load predictors.
+class SampleWindow {
+ public:
+  /// \param capacity maximum number of retained samples; must be > 0.
+  explicit SampleWindow(std::size_t capacity);
+
+  /// Append a sample, evicting the oldest one once full.
+  void push(double x);
+
+  /// Number of samples currently held (<= capacity()).
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == buf_.size(); }
+
+  /// Copy of the retained samples in insertion order (oldest first).
+  std::vector<double> samples() const;
+
+  /// Drop all samples.
+  void clear();
+
+ private:
+  std::vector<double> buf_;
+  std::size_t head_ = 0;  // index of the oldest sample
+  std::size_t size_ = 0;
+};
+
+}  // namespace slipflow::util

@@ -1,0 +1,28 @@
+#pragma once
+/// \file stopwatch.hpp
+/// Wall-clock stopwatch for the real (thread-parallel) runner and the
+/// kernel microbenchmarks.
+
+#include <chrono>
+
+namespace slipflow::util {
+
+/// Monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace slipflow::util

@@ -1,0 +1,107 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace slipflow::util {
+
+std::string format_number(double v) {
+  std::ostringstream os;
+  const double a = std::abs(v);
+  if (v == std::floor(v) && a < 1e12) {
+    os << static_cast<long long>(v);
+  } else if (a >= 0.01 && a < 1e7) {
+    os << std::fixed << std::setprecision(4) << v;
+    std::string s = os.str();
+    // trim trailing zeros but keep at least one decimal
+    while (s.size() > 1 && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+    return s;
+  } else {
+    os << std::scientific << std::setprecision(3) << v;
+  }
+  return os.str();
+}
+
+namespace {
+std::string cell_text(const Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* d = std::get_if<double>(&c)) return format_number(*d);
+  return std::to_string(std::get<long long>(c));
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::header(std::vector<std::string> names) {
+  SLIPFLOW_REQUIRE(rows_.empty());
+  header_ = std::move(names);
+}
+
+void Table::row(std::vector<Cell> cells) {
+  SLIPFLOW_REQUIRE_MSG(cells.size() == header_.size(),
+                       "row width " << cells.size() << " != header width "
+                                    << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  std::vector<std::vector<std::string>> text;
+  text.reserve(rows_.size());
+  for (const auto& r : rows_) {
+    std::vector<std::string> t;
+    t.reserve(r.size());
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      t.push_back(cell_text(r[c]));
+      width[c] = std::max(width[c], t.back().size());
+    }
+    text.push_back(std::move(t));
+  }
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::setw(static_cast<int>(width[c])) << cells[c];
+      os << (c + 1 == cells.size() ? "\n" : "  ");
+    }
+  };
+  line(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c], '-') << (c + 1 == header_.size() ? "\n" : "  ");
+  }
+  for (const auto& t : text) line(t);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << csv_escape(header_[c]) << (c + 1 == header_.size() ? "\n" : ",");
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      os << csv_escape(cell_text(r[c])) << (c + 1 == r.size() ? "\n" : ",");
+  }
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  SLIPFLOW_REQUIRE_MSG(f.good(), "cannot open " << path);
+  write_csv(f);
+}
+
+}  // namespace slipflow::util

@@ -1,0 +1,49 @@
+#pragma once
+/// \file table.hpp
+/// Plain-text table and CSV emitters used by the figure/table benchmark
+/// harnesses so that every reproduced result prints in a uniform, easily
+/// diffable layout.
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace slipflow::util {
+
+/// A cell is either text or a number (numbers get consistent formatting).
+using Cell = std::variant<std::string, double, long long>;
+
+/// Column-aligned text table with an optional title, suitable for stdout.
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Set the header row. Must be called before adding rows.
+  void header(std::vector<std::string> names);
+
+  /// Append a data row; its width must match the header width.
+  void row(std::vector<Cell> cells);
+
+  /// Number of data rows so far.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render as an aligned text table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (header + rows, RFC-4180 style quoting for text).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: write_csv to a file path, creating/overwriting it.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Format a double with a sensible number of significant digits for tables.
+std::string format_number(double v);
+
+}  // namespace slipflow::util

@@ -1,0 +1,188 @@
+// Checkpoint / restart: bit-exact continuation, header validation, and
+// restart across *different* decompositions (the per-plane format's
+// whole point).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <filesystem>
+#include <mutex>
+
+#include "lbm/checkpoint.hpp"
+#include "lbm/observables.hpp"
+#include "lbm/simulation.hpp"
+#include "sim/parallel_lbm.hpp"
+#include "transport/thread_comm.hpp"
+
+using namespace slipflow;
+using namespace slipflow::lbm;
+
+namespace {
+
+const Extents kGrid{12, 6, 4};
+
+FluidParams fluid() { return FluidParams::microchannel_defaults(); }
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+struct PathGuard {
+  std::string path;
+  explicit PathGuard(std::string p) : path(std::move(p)) {}
+  ~PathGuard() { std::remove(path.c_str()); }
+};
+
+std::vector<double> final_profile(Simulation& sim) {
+  return velocity_profile_y(sim.slab(), kGrid.nx / 2, 2);
+}
+
+}  // namespace
+
+TEST(Checkpoint, HeaderRoundTrip) {
+  PathGuard g(temp_path("ckpt_header.bin"));
+  Simulation sim(kGrid, fluid());
+  sim.initialize_uniform();
+  sim.run(7);
+  sim.save_checkpoint(g.path);
+  const auto info = read_checkpoint_info(g.path);
+  EXPECT_EQ(info.global, kGrid);
+  EXPECT_EQ(info.components, 2u);
+  EXPECT_EQ(info.phase, 7);
+}
+
+TEST(Checkpoint, ContinuationIsBitExact) {
+  PathGuard g(temp_path("ckpt_cont.bin"));
+  // reference: run 60 phases straight through
+  Simulation ref(kGrid, fluid());
+  ref.initialize_uniform();
+  ref.run(60);
+
+  // checkpointed: run 25, save, restore into a fresh simulation, run 35
+  Simulation first(kGrid, fluid());
+  first.initialize_uniform();
+  first.run(25);
+  first.save_checkpoint(g.path);
+
+  Simulation second(kGrid, fluid());
+  second.restore_checkpoint(g.path);
+  EXPECT_EQ(second.phase_count(), 25);
+  second.run(35);
+
+  const auto ur = final_profile(ref);
+  const auto uc = final_profile(second);
+  for (std::size_t j = 0; j < ur.size(); ++j)
+    EXPECT_DOUBLE_EQ(uc[j], ur[j]) << j;
+  for (std::size_t c = 0; c < 2; ++c)
+    EXPECT_DOUBLE_EQ(owned_mass(second.slab(), c),
+                     owned_mass(ref.slab(), c));
+}
+
+TEST(Checkpoint, MismatchedDomainRejected) {
+  PathGuard g(temp_path("ckpt_dom.bin"));
+  Simulation sim(kGrid, fluid());
+  sim.initialize_uniform();
+  sim.save_checkpoint(g.path);
+  Simulation other(Extents{10, 6, 4}, fluid());
+  EXPECT_THROW(other.restore_checkpoint(g.path), slipflow::contract_error);
+}
+
+TEST(Checkpoint, MismatchedComponentsRejected) {
+  PathGuard g(temp_path("ckpt_comp.bin"));
+  Simulation sim(kGrid, fluid());
+  sim.initialize_uniform();
+  sim.save_checkpoint(g.path);
+  Simulation other(kGrid, FluidParams::single_component());
+  EXPECT_THROW(other.restore_checkpoint(g.path), slipflow::contract_error);
+}
+
+TEST(Checkpoint, GarbageFileRejected) {
+  PathGuard g(temp_path("ckpt_garbage.bin"));
+  {
+    std::ofstream out(g.path, std::ios::binary);
+    out << "this is not a checkpoint at all, not even close......";
+  }
+  Simulation sim(kGrid, fluid());
+  EXPECT_THROW(sim.restore_checkpoint(g.path), slipflow::contract_error);
+}
+
+TEST(Checkpoint, MissingFileRejected) {
+  Simulation sim(kGrid, fluid());
+  EXPECT_THROW(sim.restore_checkpoint(temp_path("ckpt_nope.bin")),
+               slipflow::contract_error);
+}
+
+TEST(Checkpoint, UncheckpointedSimulationRejected) {
+  Simulation sim(kGrid, fluid());
+  EXPECT_THROW(sim.save_checkpoint(temp_path("ckpt_uninit.bin")),
+               slipflow::contract_error);
+}
+
+namespace {
+
+/// Run `ranks` ranks for `phases` phases starting from a checkpoint (or
+/// uniform init when path empty), optionally saving at the end; returns
+/// the rank-0 velocity profile.
+std::vector<double> parallel_leg(int ranks, int phases,
+                                 const std::string& load_path,
+                                 const std::string& save_path) {
+  sim::RunnerConfig cfg;
+  cfg.global = kGrid;
+  cfg.fluid = fluid();
+  std::vector<double> profile;
+  std::mutex mu;
+  transport::run_ranks(ranks, [&](transport::Communicator& comm) {
+    sim::ParallelLbm run(cfg, comm);
+    if (load_path.empty())
+      run.initialize_uniform();
+    else
+      run.load_checkpoint(load_path);
+    run.run(phases);
+    if (!save_path.empty()) run.save_checkpoint(save_path, phases);
+    auto u = run.gather_velocity_profile_y(kGrid.nx / 2, 2);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      profile = std::move(u);
+    }
+  });
+  return profile;
+}
+
+}  // namespace
+
+TEST(Checkpoint, ParallelRestartAcrossRankCounts) {
+  // save from 3 ranks, restart on 2 and on 4 — all must match the
+  // straight-through sequential run exactly
+  PathGuard g(temp_path("ckpt_ranks.bin"));
+  Simulation ref(kGrid, fluid());
+  ref.initialize_uniform();
+  ref.run(40);
+  const auto ur = final_profile(ref);
+
+  (void)parallel_leg(3, 15, "", g.path);  // first 15 phases on 3 ranks
+  const auto u2 = parallel_leg(2, 25, g.path, "");
+  const auto u4 = parallel_leg(4, 25, g.path, "");
+  ASSERT_EQ(u2.size(), ur.size());
+  for (std::size_t j = 0; j < ur.size(); ++j) {
+    EXPECT_DOUBLE_EQ(u2[j], ur[j]) << j;
+    EXPECT_DOUBLE_EQ(u4[j], ur[j]) << j;
+  }
+}
+
+TEST(Checkpoint, SequentialToParallelHandoff) {
+  PathGuard g(temp_path("ckpt_handoff.bin"));
+  Simulation ref(kGrid, fluid());
+  ref.initialize_uniform();
+  ref.run(30);
+  const auto ur = final_profile(ref);
+
+  Simulation first(kGrid, fluid());
+  first.initialize_uniform();
+  first.run(10);
+  first.save_checkpoint(g.path);
+
+  const auto up = parallel_leg(3, 20, g.path, "");
+  for (std::size_t j = 0; j < ur.size(); ++j)
+    EXPECT_DOUBLE_EQ(up[j], ur[j]) << j;
+}

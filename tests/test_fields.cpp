@@ -1,0 +1,94 @@
+// Field container tests: linearization, plane views, direction-major
+// distribution storage.
+
+#include <gtest/gtest.h>
+
+#include "lbm/field.hpp"
+
+using namespace slipflow::lbm;
+
+TEST(Extents, CellsAndPlaneCells) {
+  const Extents e{4, 3, 2};
+  EXPECT_EQ(e.cells(), 24);
+  EXPECT_EQ(e.plane_cells(), 6);
+}
+
+TEST(Extents, IndexIsXMajor) {
+  const Extents e{4, 3, 2};
+  // consecutive z first, then y, then x
+  EXPECT_EQ(e.idx(0, 0, 0), 0);
+  EXPECT_EQ(e.idx(0, 0, 1), 1);
+  EXPECT_EQ(e.idx(0, 1, 0), 2);
+  EXPECT_EQ(e.idx(1, 0, 0), 6);
+}
+
+TEST(Extents, PlanesAreContiguous) {
+  const Extents e{5, 3, 4};
+  for (index_t x = 0; x < e.nx; ++x) {
+    EXPECT_EQ(e.idx(x, 0, 0), x * e.plane_cells());
+    EXPECT_EQ(e.idx(x, e.ny - 1, e.nz - 1), (x + 1) * e.plane_cells() - 1);
+  }
+}
+
+TEST(ScalarField, FillAndIndex) {
+  ScalarField f(Extents{2, 3, 4}, 1.5);
+  for (index_t c = 0; c < 24; ++c) EXPECT_DOUBLE_EQ(f[c], 1.5);
+  f.at(1, 2, 3) = 9.0;
+  EXPECT_DOUBLE_EQ(f[f.extents().idx(1, 2, 3)], 9.0);
+}
+
+TEST(ScalarField, PlaneViewAliasesStorage) {
+  ScalarField f(Extents{3, 2, 2});
+  auto p = f.plane(1);
+  ASSERT_EQ(p.size(), 4u);
+  p[0] = 7.0;
+  EXPECT_DOUBLE_EQ(f.at(1, 0, 0), 7.0);
+}
+
+TEST(VectorField, SetAndGetRoundTrip) {
+  VectorField v(Extents{2, 2, 2});
+  const Vec3 val{1.0, -2.0, 3.0};
+  v.set(5, val);
+  const Vec3 got = v.at(5);
+  EXPECT_DOUBLE_EQ(got.x, 1.0);
+  EXPECT_DOUBLE_EQ(got.y, -2.0);
+  EXPECT_DOUBLE_EQ(got.z, 3.0);
+}
+
+TEST(DistField, DirectionsAreContiguousFields) {
+  DistField f(Extents{2, 2, 2});
+  EXPECT_EQ(f.dir(0).size(), 8u);
+  f.at(3, 5) = 4.0;
+  EXPECT_DOUBLE_EQ(f.dir(3)[5], 4.0);
+  // other directions untouched
+  EXPECT_DOUBLE_EQ(f.dir(2)[5], 0.0);
+}
+
+TEST(DistField, DirPlaneOffsets) {
+  const Extents e{3, 2, 2};
+  DistField f(e);
+  f.at(7, e.idx(2, 1, 1)) = 1.25;
+  auto plane = f.dir_plane(7, 2);
+  EXPECT_DOUBLE_EQ(plane[e.plane_cells() - 1], 1.25);
+}
+
+TEST(DistField, SwapExchangesStorage) {
+  DistField a(Extents{1, 1, 1}), b(Extents{1, 1, 1});
+  a.at(0, 0) = 1.0;
+  b.at(0, 0) = 2.0;
+  a.swap(b);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(b.at(0, 0), 1.0);
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  const Vec3 s = a + b;
+  EXPECT_DOUBLE_EQ(s.x, 5);
+  EXPECT_DOUBLE_EQ(s.y, 7);
+  EXPECT_DOUBLE_EQ(s.z, 9);
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  const Vec3 t = 2.0 * a;
+  EXPECT_DOUBLE_EQ(t.z, 6.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 14.0);
+}

@@ -1,0 +1,133 @@
+// Channel geometry: wall/solid classification, periodic wrapping, wall
+// distances and the hydrophobic wall acceleration field.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lbm/geometry.hpp"
+
+using namespace slipflow::lbm;
+
+TEST(Geometry, InteriorIsFluid) {
+  const ChannelGeometry g(Extents{4, 4, 4});
+  for (index_t y = 0; y < 4; ++y)
+    for (index_t z = 0; z < 4; ++z) EXPECT_FALSE(g.solid(1, y, z));
+}
+
+TEST(Geometry, OutsideYZIsSolid) {
+  const ChannelGeometry g(Extents{4, 4, 4});
+  EXPECT_TRUE(g.solid(0, -1, 2));
+  EXPECT_TRUE(g.solid(0, 4, 2));
+  EXPECT_TRUE(g.solid(0, 2, -1));
+  EXPECT_TRUE(g.solid(0, 2, 4));
+}
+
+TEST(Geometry, XIsPeriodicNeverSolid) {
+  const ChannelGeometry g(Extents{4, 4, 4});
+  EXPECT_FALSE(g.solid(-1, 2, 2));
+  EXPECT_FALSE(g.solid(4, 2, 2));
+  EXPECT_FALSE(g.solid(400, 2, 2));
+}
+
+TEST(Geometry, WrapX) {
+  const ChannelGeometry g(Extents{10, 2, 2});
+  EXPECT_EQ(g.wrap_x(-1), 9);
+  EXPECT_EQ(g.wrap_x(10), 0);
+  EXPECT_EQ(g.wrap_x(-11), 9);
+  EXPECT_EQ(g.wrap_x(23), 3);
+}
+
+TEST(Geometry, PeriodicYDisablesSideWalls) {
+  const ChannelGeometry g(Extents{4, 4, 4}, nullptr, /*walls_y=*/false,
+                          /*walls_z=*/true);
+  EXPECT_FALSE(g.solid(0, -1, 2));
+  EXPECT_FALSE(g.solid(0, 4, 2));
+  EXPECT_TRUE(g.solid(0, 2, -1));
+}
+
+TEST(Geometry, ObstacleMaskIsHonored) {
+  const ChannelGeometry g(Extents{4, 4, 4}, [](index_t x, index_t y, index_t z) {
+    return x == 1 && y == 1 && z == 1;
+  });
+  EXPECT_TRUE(g.has_obstacles());
+  EXPECT_TRUE(g.solid(1, 1, 1));
+  EXPECT_FALSE(g.solid(1, 1, 2));
+  // obstacle lookups wrap x periodically
+  EXPECT_TRUE(g.solid(5, 1, 1));
+}
+
+TEST(Geometry, WallDistanceHalfWayPositions) {
+  const ChannelGeometry g(Extents{4, 6, 4});
+  EXPECT_DOUBLE_EQ(g.wall_distance_y(0), 0.5);
+  EXPECT_DOUBLE_EQ(g.wall_distance_y(1), 1.5);
+  EXPECT_DOUBLE_EQ(g.wall_distance_y(5), 0.5);  // near the far wall
+  EXPECT_DOUBLE_EQ(g.wall_distance_y(3), 2.5);
+}
+
+TEST(Geometry, WallDistanceInfiniteWhenPeriodic) {
+  const ChannelGeometry g(Extents{4, 6, 4}, nullptr, false, true);
+  EXPECT_TRUE(std::isinf(g.wall_distance_y(0)));
+  EXPECT_FALSE(std::isinf(g.wall_distance_z(0)));
+}
+
+TEST(WallForce, PointsInwardNearLowerWall) {
+  const ChannelGeometry g(Extents{4, 10, 10});
+  const Vec3 a = g.wall_unit_accel(0, 5, 2.0);
+  EXPECT_GT(a.y, 0.0);  // pushed away from the y=low wall, toward +y
+}
+
+TEST(WallForce, PointsInwardNearUpperWall) {
+  const ChannelGeometry g(Extents{4, 10, 10});
+  const Vec3 a = g.wall_unit_accel(9, 5, 2.0);
+  EXPECT_LT(a.y, 0.0);
+}
+
+TEST(WallForce, AntisymmetricAcrossChannel) {
+  const ChannelGeometry g(Extents{4, 10, 8});
+  for (index_t y = 0; y < 10; ++y) {
+    const Vec3 lo = g.wall_unit_accel(y, 3, 2.5);
+    const Vec3 hi = g.wall_unit_accel(9 - y, 3, 2.5);
+    EXPECT_NEAR(lo.y, -hi.y, 1e-14);
+  }
+}
+
+TEST(WallForce, VanishesAtChannelCenterBySymmetry) {
+  const ChannelGeometry g(Extents{4, 10, 10});
+  // center of even-sized channel is between rows 4 and 5; both rows feel
+  // equal-and-opposite pulls that nearly cancel with a long decay
+  const Vec3 a4 = g.wall_unit_accel(4, 4, 100.0);
+  EXPECT_NEAR(a4.y, 0.0, 0.01);
+}
+
+TEST(WallForce, DecaysExponentially) {
+  const ChannelGeometry g(Extents{4, 40, 40});
+  const double lambda = 3.0;
+  const Vec3 a0 = g.wall_unit_accel(0, 20, lambda);
+  const Vec3 a3 = g.wall_unit_accel(3, 20, lambda);
+  // three lattice units further should decay by ~exp(-3/3) = e^-1
+  EXPECT_NEAR(a3.y / a0.y, std::exp(-1.0), 0.01);
+}
+
+TEST(WallForce, ZComponentZeroWhenZPeriodic) {
+  const ChannelGeometry g(Extents{4, 10, 10}, nullptr, true, false);
+  const Vec3 a = g.wall_unit_accel(0, 0, 2.0);
+  EXPECT_DOUBLE_EQ(a.z, 0.0);
+  EXPECT_GT(a.y, 0.0);
+}
+
+TEST(WallForce, MagnitudeBoundedByTwo) {
+  // each of the four walls contributes at most exp(-0.5/decay) < 1
+  const ChannelGeometry g(Extents{4, 6, 6});
+  for (index_t y = 0; y < 6; ++y)
+    for (index_t z = 0; z < 6; ++z) {
+      const Vec3 a = g.wall_unit_accel(y, z, 2.0);
+      EXPECT_LT(std::abs(a.y), 1.0);
+      EXPECT_LT(std::abs(a.z), 1.0);
+    }
+}
+
+TEST(Geometry, RejectsEmptyExtents) {
+  EXPECT_THROW(ChannelGeometry(Extents{0, 4, 4}), slipflow::contract_error);
+  EXPECT_THROW(ChannelGeometry(Extents{4, 0, 4}), slipflow::contract_error);
+}

@@ -1,0 +1,184 @@
+// Invariants of the D3Q19 velocity set: weight normalization, isotropy
+// moments (which the Chapman-Enskog expansion relies on), opposite
+// directions, and the boundary-crossing direction groups used by the
+// parallel halo exchange.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "lbm/kernels.hpp"
+#include "lbm/lattice.hpp"
+
+using namespace slipflow::lbm;
+
+TEST(Lattice, WeightsSumToOne) {
+  double s = 0.0;
+  for (double w : kWeight) s += w;
+  EXPECT_NEAR(s, 1.0, 1e-15);
+}
+
+TEST(Lattice, RestParticleIsIndexZero) {
+  EXPECT_EQ(kCx[0], 0);
+  EXPECT_EQ(kCy[0], 0);
+  EXPECT_EQ(kCz[0], 0);
+}
+
+TEST(Lattice, VelocitiesAreUnique) {
+  std::set<std::array<int, 3>> seen;
+  for (int i = 0; i < kQ; ++i)
+    seen.insert({kCx[i], kCy[i], kCz[i]});
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kQ));
+}
+
+TEST(Lattice, SpeedsAreAtMostSqrt2) {
+  for (int i = 0; i < kQ; ++i) {
+    const int c2 = kCx[i] * kCx[i] + kCy[i] * kCy[i] + kCz[i] * kCz[i];
+    EXPECT_LE(c2, 2);
+  }
+}
+
+TEST(Lattice, FirstMomentVanishes) {
+  double mx = 0, my = 0, mz = 0;
+  for (int i = 0; i < kQ; ++i) {
+    mx += kWeight[i] * kCx[i];
+    my += kWeight[i] * kCy[i];
+    mz += kWeight[i] * kCz[i];
+  }
+  EXPECT_NEAR(mx, 0.0, 1e-15);
+  EXPECT_NEAR(my, 0.0, 1e-15);
+  EXPECT_NEAR(mz, 0.0, 1e-15);
+}
+
+TEST(Lattice, SecondMomentIsCs2Identity) {
+  // sum_i w_i c_ia c_ib = cs^2 delta_ab with cs^2 = 1/3.
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      double m = 0.0;
+      for (int i = 0; i < kQ; ++i) {
+        const int ca = a == 0 ? kCx[i] : a == 1 ? kCy[i] : kCz[i];
+        const int cb = b == 0 ? kCx[i] : b == 1 ? kCy[i] : kCz[i];
+        m += kWeight[i] * ca * cb;
+      }
+      EXPECT_NEAR(m, a == b ? kCs2 : 0.0, 1e-15) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Lattice, ThirdMomentVanishes) {
+  // sum_i w_i c_ia c_ib c_ic = 0 for all index triples (odd moment).
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 3; ++b)
+      for (int c = 0; c < 3; ++c) {
+        double m = 0.0;
+        for (int i = 0; i < kQ; ++i) {
+          const int cs[3] = {kCx[i], kCy[i], kCz[i]};
+          m += kWeight[i] * cs[a] * cs[b] * cs[c];
+        }
+        EXPECT_NEAR(m, 0.0, 1e-15);
+      }
+}
+
+TEST(Lattice, FourthMomentIsotropy) {
+  // sum_i w_i c_ia^2 c_ib^2 = cs^4 (1 + 2 delta_ab).
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 3; ++b) {
+      double m = 0.0;
+      for (int i = 0; i < kQ; ++i) {
+        const int cs[3] = {kCx[i], kCy[i], kCz[i]};
+        m += kWeight[i] * cs[a] * cs[a] * cs[b] * cs[b];
+      }
+      const double expect = kCs2 * kCs2 * (a == b ? 3.0 : 1.0);
+      EXPECT_NEAR(m, expect, 1e-15);
+    }
+}
+
+TEST(Lattice, OppositesReverseVelocity) {
+  for (int i = 0; i < kQ; ++i) {
+    const int o = kOpposite[i];
+    EXPECT_EQ(kCx[o], -kCx[i]);
+    EXPECT_EQ(kCy[o], -kCy[i]);
+    EXPECT_EQ(kCz[o], -kCz[i]);
+  }
+}
+
+TEST(Lattice, OppositeIsAnInvolution) {
+  for (int i = 0; i < kQ; ++i) EXPECT_EQ(kOpposite[kOpposite[i]], i);
+}
+
+TEST(Lattice, OppositePreservesWeight) {
+  for (int i = 0; i < kQ; ++i)
+    EXPECT_DOUBLE_EQ(kWeight[i], kWeight[kOpposite[i]]);
+}
+
+TEST(Lattice, CrossingGroupsHaveFiveDirectionsEach) {
+  EXPECT_EQ(kRightGoing.size(), 5u);
+  EXPECT_EQ(kLeftGoing.size(), 5u);
+  for (int d : kRightGoing) EXPECT_EQ(kCx[d], 1);
+  for (int d : kLeftGoing) EXPECT_EQ(kCx[d], -1);
+}
+
+TEST(Lattice, CrossingGroupsAreOpposites) {
+  // each right-going direction's opposite is left-going
+  for (int d : kRightGoing) {
+    EXPECT_NE(std::find(kLeftGoing.begin(), kLeftGoing.end(), kOpposite[d]),
+              kLeftGoing.end());
+  }
+}
+
+TEST(Lattice, NineDirectionsStayInPlane) {
+  int in_plane = 0;
+  for (int i = 0; i < kQ; ++i)
+    if (kCx[i] == 0) ++in_plane;
+  EXPECT_EQ(in_plane, 9);  // 19 - 2*5
+}
+
+TEST(Equilibrium, ZeroVelocityReducesToWeights) {
+  for (int d = 0; d < kQ; ++d)
+    EXPECT_NEAR(equilibrium(d, 2.0, Vec3{}), 2.0 * kWeight[d], 1e-15);
+}
+
+TEST(Equilibrium, DensityMomentExact) {
+  const Vec3 u{0.05, -0.02, 0.03};
+  double n = 0.0;
+  for (int d = 0; d < kQ; ++d) n += equilibrium(d, 1.7, u);
+  EXPECT_NEAR(n, 1.7, 1e-13);
+}
+
+TEST(Equilibrium, MomentumMomentExact) {
+  const Vec3 u{0.05, -0.02, 0.03};
+  const double n = 0.9;
+  Vec3 p{};
+  for (int d = 0; d < kQ; ++d) {
+    const double f = equilibrium(d, n, u);
+    p.x += f * kCx[d];
+    p.y += f * kCy[d];
+    p.z += f * kCz[d];
+  }
+  EXPECT_NEAR(p.x, n * u.x, 1e-13);
+  EXPECT_NEAR(p.y, n * u.y, 1e-13);
+  EXPECT_NEAR(p.z, n * u.z, 1e-13);
+}
+
+TEST(Equilibrium, StressMomentSecondOrder) {
+  // sum_i f_i^eq c_ia c_ib = n (cs^2 delta_ab + u_a u_b)
+  const Vec3 u{0.04, 0.01, -0.02};
+  const double n = 1.2;
+  const double us[3] = {u.x, u.y, u.z};
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 3; ++b) {
+      double m = 0.0;
+      for (int d = 0; d < kQ; ++d) {
+        const int cs[3] = {kCx[d], kCy[d], kCz[d]};
+        m += equilibrium(d, n, u) * cs[a] * cs[b];
+      }
+      const double expect = n * ((a == b ? kCs2 : 0.0) + us[a] * us[b]);
+      EXPECT_NEAR(m, expect, 1e-12);
+    }
+}
+
+TEST(Equilibrium, PositiveAtModerateVelocity) {
+  const Vec3 u{0.1, 0.1, 0.1};
+  for (int d = 0; d < kQ; ++d) EXPECT_GT(equilibrium(d, 1.0, u), 0.0);
+}

@@ -1,0 +1,232 @@
+// Parallel runner vs sequential reference: with static decomposition the
+// parallel multicomponent LBM must reproduce the sequential fields
+// exactly (same per-cell arithmetic, just distributed).
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "lbm/observables.hpp"
+#include "lbm/simulation.hpp"
+#include "sim/parallel_lbm.hpp"
+#include "transport/thread_comm.hpp"
+
+using namespace slipflow;
+using namespace slipflow::lbm;
+using slipflow::sim::ParallelLbm;
+using slipflow::sim::RunnerConfig;
+
+namespace {
+
+const Extents kGrid{16, 6, 4};
+
+RunnerConfig base_runner() {
+  RunnerConfig cfg;
+  cfg.global = kGrid;
+  cfg.fluid = FluidParams::microchannel_defaults(0.05, 1.5, 0.03, 1.0, 2e-5);
+  cfg.policy = "none";
+  return cfg;
+}
+
+/// Sequential reference fields after `phases` phases.
+struct Reference {
+  std::vector<std::vector<double>> water;  // per gx: density profile
+  std::vector<std::vector<double>> ux;     // per gx: velocity profile
+  double mass0, mass1;
+};
+
+Reference sequential_reference(int phases) {
+  Simulation sim(kGrid, base_runner().fluid);
+  sim.initialize_uniform();
+  sim.run(phases);
+  Reference ref;
+  for (index_t gx = 0; gx < kGrid.nx; ++gx) {
+    ref.water.push_back(density_profile_y(sim.slab(), 0, gx, 2));
+    ref.ux.push_back(velocity_profile_y(sim.slab(), gx, 2));
+  }
+  ref.mass0 = owned_mass(sim.slab(), 0);
+  ref.mass1 = owned_mass(sim.slab(), 1);
+  return ref;
+}
+
+/// Run the parallel code on `ranks` ranks and collect the same profiles.
+Reference parallel_reference(int ranks, int phases, RunnerConfig cfg) {
+  Reference out;
+  out.water.resize(static_cast<std::size_t>(kGrid.nx));
+  out.ux.resize(static_cast<std::size_t>(kGrid.nx));
+  std::mutex mu;
+  transport::run_ranks(ranks, [&](transport::Communicator& comm) {
+    ParallelLbm run(cfg, comm);
+    run.initialize_uniform();
+    run.run(phases);
+    const double m0 = run.global_mass(0);
+    const double m1 = run.global_mass(1);
+    for (index_t gx = 0; gx < kGrid.nx; ++gx) {
+      auto w = run.gather_density_profile_y(0, gx, 2);
+      auto u = run.gather_velocity_profile_y(gx, 2);
+      if (comm.rank() == 0) {
+        std::lock_guard<std::mutex> lk(mu);
+        out.water[static_cast<std::size_t>(gx)] = std::move(w);
+        out.ux[static_cast<std::size_t>(gx)] = std::move(u);
+        out.mass0 = m0;
+        out.mass1 = m1;
+      }
+    }
+  });
+  return out;
+}
+
+void expect_identical(const Reference& a, const Reference& b) {
+  for (index_t gx = 0; gx < kGrid.nx; ++gx) {
+    const auto ux = static_cast<std::size_t>(gx);
+    ASSERT_EQ(a.water[ux].size(), b.water[ux].size());
+    for (std::size_t j = 0; j < a.water[ux].size(); ++j) {
+      EXPECT_DOUBLE_EQ(a.water[ux][j], b.water[ux][j])
+          << "density gx=" << gx << " y=" << j;
+      EXPECT_DOUBLE_EQ(a.ux[ux][j], b.ux[ux][j])
+          << "velocity gx=" << gx << " y=" << j;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(InitialExtent, CoversDomainWithoutGaps) {
+  for (int size = 1; size <= 7; ++size) {
+    index_t expect_begin = 0;
+    index_t total = 0;
+    for (int r = 0; r < size; ++r) {
+      const auto [begin, mine] = sim::initial_extent(16, size, r);
+      EXPECT_EQ(begin, expect_begin);
+      EXPECT_GE(mine, 1);
+      expect_begin += mine;
+      total += mine;
+    }
+    EXPECT_EQ(total, 16);
+  }
+}
+
+TEST(InitialExtent, RemainderGoesToLowRanks) {
+  const auto [b0, n0] = sim::initial_extent(10, 4, 0);
+  const auto [b3, n3] = sim::initial_extent(10, 4, 3);
+  EXPECT_EQ(n0, 3);
+  EXPECT_EQ(n3, 2);
+  EXPECT_EQ(b0, 0);
+  EXPECT_EQ(b3, 8);
+}
+
+TEST(ParallelLbm, SingleRankMatchesSequential) {
+  const auto seq = sequential_reference(30);
+  const auto par = parallel_reference(1, 30, base_runner());
+  expect_identical(seq, par);
+}
+
+TEST(ParallelLbm, TwoRanksMatchSequentialExactly) {
+  const auto seq = sequential_reference(30);
+  const auto par = parallel_reference(2, 30, base_runner());
+  expect_identical(seq, par);
+  // masses are reduced in rank order, so only summation order differs
+  EXPECT_NEAR(par.mass0, seq.mass0, 1e-12 * seq.mass0);
+  EXPECT_NEAR(par.mass1, seq.mass1, 1e-12 * std::max(seq.mass1, 1.0));
+}
+
+TEST(ParallelLbm, FourRanksMatchSequentialExactly) {
+  const auto seq = sequential_reference(25);
+  const auto par = parallel_reference(4, 25, base_runner());
+  expect_identical(seq, par);
+}
+
+TEST(ParallelLbm, UnevenDecompositionMatches) {
+  // 16 planes over 3 ranks: 6/5/5
+  const auto seq = sequential_reference(20);
+  const auto par = parallel_reference(3, 20, base_runner());
+  expect_identical(seq, par);
+}
+
+TEST(ParallelLbm, MassConservedAcrossRanks) {
+  transport::run_ranks(3, [&](transport::Communicator& comm) {
+    ParallelLbm run(base_runner(), comm);
+    run.initialize_uniform();
+    const double m0 = run.global_mass(0);
+    run.run(40);
+    EXPECT_NEAR(run.global_mass(0), m0, 1e-9 * m0);
+  });
+}
+
+TEST(ParallelLbm, StatsAccountAllPlanes) {
+  transport::run_ranks(3, [&](transport::Communicator& comm) {
+    ParallelLbm run(base_runner(), comm);
+    run.initialize_uniform();
+    run.run(10);
+    const auto stats = run.gather_stats();
+    long long planes = 0;
+    for (const auto& s : stats) planes += s.planes;
+    EXPECT_EQ(planes, kGrid.nx);
+    for (const auto& s : stats) {
+      EXPECT_GT(s.compute_seconds, 0.0);
+      EXPECT_EQ(s.planes_sent, 0);  // no remapping configured
+    }
+  });
+}
+
+TEST(ParallelLbm, RequiresInitialization) {
+  transport::run_ranks(2, [&](transport::Communicator& comm) {
+    ParallelLbm run(base_runner(), comm);
+    EXPECT_THROW(run.run(1), slipflow::contract_error);
+    run.initialize_uniform();  // leave ranks consistent before exit
+  });
+}
+
+TEST(ParallelLbm, MovingWallsMatchSequential) {
+  // moving-wall bounce-back must be decomposition-invariant too
+  RunnerConfig cfg = base_runner();
+  cfg.wall_velocity[1] = lbm::Vec3{0.03, 0.0, 0.0};  // y_high wall
+
+  auto geom = std::make_shared<ChannelGeometry>(kGrid);
+  geom->set_wall_velocity(ChannelGeometry::Wall::y_high,
+                          Vec3{0.03, 0.0, 0.0});
+  Simulation seq(std::shared_ptr<const ChannelGeometry>(std::move(geom)),
+                 cfg.fluid);
+  seq.initialize_uniform();
+  seq.run(25);
+
+  const auto par = parallel_reference(3, 25, cfg);
+  for (index_t gx = 0; gx < kGrid.nx; ++gx) {
+    const auto u = velocity_profile_y(seq.slab(), gx, 2);
+    const auto& up = par.ux[static_cast<std::size_t>(gx)];
+    for (std::size_t j = 0; j < u.size(); ++j)
+      EXPECT_DOUBLE_EQ(up[j], u[j]) << gx << "," << j;
+  }
+}
+
+TEST(ParallelLbm, WallPatternMatchesSequential) {
+  RunnerConfig cfg = base_runner();
+  cfg.fluid.wall_pattern = [](index_t gx, index_t, index_t) {
+    return gx % 8 < 4 ? 1.0 : 0.2;
+  };
+  Simulation seq(kGrid, cfg.fluid);
+  seq.initialize_uniform();
+  seq.run(25);
+  const auto par = parallel_reference(3, 25, cfg);
+  for (index_t gx = 0; gx < kGrid.nx; ++gx) {
+    const auto w = density_profile_y(seq.slab(), 0, gx, 2);
+    const auto& wp = par.water[static_cast<std::size_t>(gx)];
+    for (std::size_t j = 0; j < w.size(); ++j)
+      EXPECT_DOUBLE_EQ(wp[j], w[j]) << gx << "," << j;
+  }
+}
+
+TEST(ParallelLbm, MrtComponentsMatchSequential) {
+  RunnerConfig cfg = base_runner();
+  for (auto& c : cfg.fluid.components) c.collision = CollisionModel::mrt;
+  const auto par = parallel_reference(3, 20, cfg);
+  Simulation seq(kGrid, cfg.fluid);
+  seq.initialize_uniform();
+  seq.run(20);
+  for (index_t gx = 0; gx < kGrid.nx; ++gx) {
+    const auto u = velocity_profile_y(seq.slab(), gx, 2);
+    const auto& up = par.ux[static_cast<std::size_t>(gx)];
+    for (std::size_t j = 0; j < u.size(); ++j)
+      EXPECT_DOUBLE_EQ(up[j], u[j]) << gx << "," << j;
+  }
+}

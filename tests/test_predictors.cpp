@@ -1,0 +1,152 @@
+// Load predictors (Section 3.4): the paper's harmonic-mean window and
+// the comparison predictors used by the ablation bench.
+
+#include <gtest/gtest.h>
+
+#include "balance/predictors.hpp"
+#include "util/require.hpp"
+
+using namespace slipflow::balance;
+
+TEST(Harmonic, NotReadyUntilWindowFull) {
+  HarmonicMeanPredictor p(5);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(p.ready());
+    p.record(1.0);
+  }
+  EXPECT_FALSE(p.ready());
+  p.record(1.0);
+  EXPECT_TRUE(p.ready());
+}
+
+TEST(Harmonic, ConstantInputPredictsConstant) {
+  HarmonicMeanPredictor p(10);
+  for (int i = 0; i < 10; ++i) p.record(0.4);
+  EXPECT_NEAR(p.predict(), 0.4, 1e-12);
+}
+
+TEST(Harmonic, SingleSpikeBarelyMovesPrediction) {
+  // the paper's laziness property: "if there is a load spike during the
+  // last phase, no migration will be made unless this machine is really
+  // slow for the last phases"
+  HarmonicMeanPredictor p(10);
+  for (int i = 0; i < 9; ++i) p.record(1.0);
+  p.record(50.0);  // one huge spike
+  EXPECT_LT(p.predict(), 1.15);
+}
+
+TEST(Harmonic, PersistentSlownessIsDetected) {
+  HarmonicMeanPredictor p(10);
+  for (int i = 0; i < 10; ++i) p.record(1.0);
+  for (int i = 0; i < 10; ++i) p.record(3.0);  // slow for a full window
+  EXPECT_NEAR(p.predict(), 3.0, 1e-12);
+}
+
+TEST(Harmonic, SlidesWithTheWindow) {
+  HarmonicMeanPredictor p(3);
+  p.record(1.0);
+  p.record(1.0);
+  p.record(1.0);
+  p.record(2.0);
+  p.record(2.0);
+  p.record(2.0);
+  EXPECT_NEAR(p.predict(), 2.0, 1e-12);
+}
+
+TEST(Harmonic, ResetForgetsHistory) {
+  HarmonicMeanPredictor p(3);
+  for (int i = 0; i < 3; ++i) p.record(1.0);
+  p.reset();
+  EXPECT_FALSE(p.ready());
+}
+
+TEST(Harmonic, RejectsNonPositiveSamples) {
+  HarmonicMeanPredictor p(3);
+  EXPECT_THROW(p.record(0.0), slipflow::contract_error);
+  EXPECT_THROW(p.record(-1.0), slipflow::contract_error);
+}
+
+TEST(Harmonic, PredictBeforeReadyRejected) {
+  HarmonicMeanPredictor p(3);
+  p.record(1.0);
+  EXPECT_THROW(p.predict(), slipflow::contract_error);
+}
+
+TEST(Arithmetic, SpikeMovesItMoreThanHarmonic) {
+  HarmonicMeanPredictor h(10);
+  ArithmeticMeanPredictor a(10);
+  for (int i = 0; i < 9; ++i) {
+    h.record(1.0);
+    a.record(1.0);
+  }
+  h.record(20.0);
+  a.record(20.0);
+  EXPECT_GT(a.predict(), h.predict() * 2.0);
+}
+
+TEST(LastValue, ChasesTheMostRecentSample) {
+  LastValuePredictor p;
+  EXPECT_FALSE(p.ready());
+  p.record(1.0);
+  EXPECT_TRUE(p.ready());
+  EXPECT_DOUBLE_EQ(p.predict(), 1.0);
+  p.record(9.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 9.0);
+}
+
+TEST(Ewma, BlendsOldAndNew) {
+  EwmaPredictor p(0.5, 1);
+  p.record(2.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 2.0);
+  p.record(4.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 3.0);
+  p.record(4.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 3.5);
+}
+
+TEST(Ewma, WarmupGatesReadiness) {
+  EwmaPredictor p(0.5, 3);
+  p.record(1.0);
+  p.record(1.0);
+  EXPECT_FALSE(p.ready());
+  p.record(1.0);
+  EXPECT_TRUE(p.ready());
+}
+
+TEST(Factory, CreatesEachKind) {
+  EXPECT_EQ(LoadPredictor::create("harmonic")->name(), "harmonic");
+  EXPECT_EQ(LoadPredictor::create("arithmetic")->name(), "arithmetic");
+  EXPECT_EQ(LoadPredictor::create("last")->name(), "last");
+  EXPECT_EQ(LoadPredictor::create("ewma")->name(), "ewma");
+}
+
+TEST(Factory, UnknownNameRejected) {
+  EXPECT_THROW(LoadPredictor::create("psychic"), slipflow::contract_error);
+}
+
+class PredictorParamTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PredictorParamTest, AllPredictorsConvergeOnConstantLoad) {
+  auto p = LoadPredictor::create(GetParam(), 8);
+  for (int i = 0; i < 16; ++i) p->record(0.7);
+  ASSERT_TRUE(p->ready());
+  EXPECT_NEAR(p->predict(), 0.7, 1e-9);
+}
+
+TEST_P(PredictorParamTest, AllPredictorsTrackLevelShifts) {
+  auto p = LoadPredictor::create(GetParam(), 8);
+  for (int i = 0; i < 8; ++i) p->record(1.0);
+  for (int i = 0; i < 40; ++i) p->record(5.0);
+  EXPECT_NEAR(p->predict(), 5.0, 0.05);
+}
+
+TEST_P(PredictorParamTest, ResetClearsReadiness) {
+  auto p = LoadPredictor::create(GetParam(), 4);
+  for (int i = 0; i < 8; ++i) p->record(1.0);
+  p->reset();
+  EXPECT_FALSE(p->ready());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PredictorParamTest,
+                         ::testing::Values("harmonic", "arithmetic", "last",
+                                           "ewma"));

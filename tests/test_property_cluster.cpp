@@ -1,0 +1,163 @@
+// Property tests for the virtual cluster across randomized
+// configurations: conservation, lower bounds, monotonicity, determinism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/scenario.hpp"
+#include "util/rng.hpp"
+
+using namespace slipflow::cluster;
+using slipflow::balance::RemapPolicy;
+using slipflow::util::Rng;
+
+namespace {
+
+ClusterConfig random_config(Rng& rng) {
+  ClusterConfig cfg;
+  cfg.nodes = 3 + static_cast<int>(rng.below(10));
+  cfg.planes_total = cfg.nodes * (2 + static_cast<long long>(rng.below(8)));
+  cfg.plane_cells = 50 + static_cast<long long>(rng.below(200));
+  cfg.cost_per_point = rng.uniform(1e-5, 1e-3);
+  cfg.remap_interval = 2 + static_cast<int>(rng.below(10));
+  cfg.balance.window = 2 + static_cast<int>(rng.below(8));
+  cfg.balance.min_transfer_points = cfg.plane_cells;
+  cfg.net.latency = rng.uniform(0.0, 1e-3);
+  cfg.net.bandwidth = rng.uniform(1e6, 1e9);
+  cfg.net.msg_cpu = rng.uniform(0.0, 1e-2);
+  cfg.net.sched_quantum = rng.uniform(0.0, 0.1);
+  return cfg;
+}
+
+void add_random_loads(ClusterSim& sim, Rng& rng) {
+  const int n = sim.config().nodes;
+  const int loaded = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  for (int i = 0; i < loaded; ++i) {
+    const int node = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    switch (rng.below(3)) {
+      case 0:
+        sim.node(node).add_load(
+            std::make_unique<PersistentLoad>(rng.uniform(0.5, 3.0)));
+        break;
+      case 1:
+        sim.node(node).add_load(std::make_unique<PeriodicLoad>(
+            rng.uniform(0.5, 3.0), rng.uniform(1.0, 20.0),
+            rng.uniform(0.1, 0.9)));
+        break;
+      default:
+        sim.node(node).add_load(std::make_unique<TraceLoad>(
+            synthetic_trace(1000.0, rng.uniform(0.5, 5.0), rng)));
+    }
+  }
+}
+
+}  // namespace
+
+class RandomizedCluster : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RandomizedCluster, PlanesConservedAndPositive) {
+  Rng rng(101);
+  for (int rep = 0; rep < 20; ++rep) {
+    const ClusterConfig cfg = random_config(rng);
+    ClusterSim sim(cfg, RemapPolicy::create(GetParam()));
+    add_random_loads(sim, rng);
+    const auto r = sim.run(30 + static_cast<int>(rng.below(100)));
+    long long planes = 0;
+    for (const auto& p : r.profile) {
+      ASSERT_GE(p.planes_end, 1);
+      planes += p.planes_end;
+    }
+    ASSERT_EQ(planes, cfg.planes_total);
+    ASSERT_TRUE(std::isfinite(r.makespan));
+    ASSERT_GT(r.makespan, 0.0);
+  }
+}
+
+TEST_P(RandomizedCluster, MakespanBoundedBelowByPerfectParallelism) {
+  // no schedule can beat the total dedicated work divided by the number
+  // of (full-speed) nodes
+  Rng rng(103);
+  for (int rep = 0; rep < 15; ++rep) {
+    const ClusterConfig cfg = random_config(rng);
+    const int phases = 20 + static_cast<int>(rng.below(60));
+    ClusterSim sim(cfg, RemapPolicy::create(GetParam()));
+    add_random_loads(sim, rng);
+    const auto r = sim.run(phases);
+    ClusterSim ref(cfg, RemapPolicy::create("none"));
+    const double lower = ref.sequential_time(phases) / cfg.nodes;
+    ASSERT_GE(r.makespan, lower * (1.0 - 1e-9));
+  }
+}
+
+TEST_P(RandomizedCluster, DeterministicAcrossRuns) {
+  Rng rng_a(107), rng_b(107);
+  const ClusterConfig cfg_a = random_config(rng_a);
+  const ClusterConfig cfg_b = random_config(rng_b);
+  ClusterSim a(cfg_a, RemapPolicy::create(GetParam()));
+  ClusterSim b(cfg_b, RemapPolicy::create(GetParam()));
+  add_random_loads(a, rng_a);
+  add_random_loads(b, rng_b);
+  const auto ra = a.run(80);
+  const auto rb = b.run(80);
+  ASSERT_DOUBLE_EQ(ra.makespan, rb.makespan);
+  ASSERT_EQ(ra.migration_events, rb.migration_events);
+  for (std::size_t i = 0; i < ra.profile.size(); ++i)
+    ASSERT_EQ(ra.profile[i].planes_end, rb.profile[i].planes_end);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, RandomizedCluster,
+                         ::testing::Values("none", "conservative",
+                                           "filtered", "global"));
+
+TEST(ClusterMonotonicity, HeavierDisturbanceNeverSpeedsUpNoRemap) {
+  // without remapping, increasing one node's competing weight can only
+  // increase (or keep) the makespan
+  double prev = 0.0;
+  for (double w : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    ClusterSim sim(paper::base_config(5), RemapPolicy::create("none"));
+    if (w > 0.0)
+      sim.node(2).add_load(std::make_unique<PersistentLoad>(w));
+    const double t = sim.run(50).makespan;
+    EXPECT_GE(t, prev - 1e-9) << "w=" << w;
+    prev = t;
+  }
+}
+
+TEST(ClusterMonotonicity, MorePhasesTakeProportionallyLonger) {
+  ClusterSim a(paper::base_config(8), RemapPolicy::create("none"));
+  ClusterSim b(paper::base_config(8), RemapPolicy::create("none"));
+  const double t100 = a.run(100).makespan;
+  const double t200 = b.run(200).makespan;
+  EXPECT_NEAR(t200 / t100, 2.0, 0.01);
+}
+
+TEST(ClusterProperty, BaseSpeedScalesDedicatedMakespan) {
+  ClusterSim fast(paper::base_config(4), RemapPolicy::create("none"));
+  ClusterSim slow(paper::base_config(4), RemapPolicy::create("none"));
+  for (int i = 0; i < 4; ++i) slow.node(i) = VirtualNode(0.5);
+  const double tf = fast.run(40).makespan;
+  const double ts = slow.run(40).makespan;
+  // compute doubles; communication partially unscaled keeps it under 2x
+  EXPECT_GT(ts, 1.8 * tf);
+  EXPECT_LT(ts, 2.05 * tf);
+}
+
+TEST(ClusterProperty, RemappingNeverLosesBadlyOnPersistentLoad) {
+  // meta-property of the paper's scheme: for persistent slow nodes,
+  // filtered remapping is never more than marginally worse than not
+  // remapping, across random slow-node placements
+  Rng rng(113);
+  for (int rep = 0; rep < 10; ++rep) {
+    ClusterConfig cfg = paper::base_config(10);
+    cfg.planes_total = 200;
+    const int slow = static_cast<int>(rng.below(10));
+    ClusterSim none(cfg, RemapPolicy::create("none"));
+    ClusterSim filt(cfg, RemapPolicy::create("filtered"));
+    none.node(slow).add_load(std::make_unique<PersistentLoad>(2.0));
+    filt.node(slow).add_load(std::make_unique<PersistentLoad>(2.0));
+    const double tn = none.run(150).makespan;
+    const double tf = filt.run(150).makespan;
+    ASSERT_LT(tf, 1.05 * tn) << "slow node " << slow;
+  }
+}

@@ -1,0 +1,167 @@
+// Property tests over randomized load configurations: invariants every
+// remapping policy must satisfy for any input.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "balance/policy.hpp"
+#include "util/rng.hpp"
+
+using namespace slipflow::balance;
+using slipflow::util::Rng;
+
+namespace {
+
+NodeLoad random_load(Rng& rng) {
+  return {std::floor(rng.uniform(500, 50000)), rng.uniform(0.05, 5.0)};
+}
+
+BalanceConfig random_cfg(Rng& rng) {
+  BalanceConfig cfg;
+  cfg.min_transfer_points = static_cast<long long>(rng.uniform(100, 8000));
+  cfg.conservative_factor = rng.uniform(0.1, 1.0);
+  cfg.over_redistribution_cap = rng.uniform(1.0, 8.0);
+  return cfg;
+}
+
+}  // namespace
+
+class RandomizedPolicy : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RandomizedPolicy, ProposalsAlwaysWithinBounds) {
+  auto policy = RemapPolicy::create(GetParam());
+  Rng rng(11);
+  for (int rep = 0; rep < 500; ++rep) {
+    const BalanceConfig cfg = random_cfg(rng);
+    const NodeLoad me = random_load(rng);
+    const bool has_left = rng.below(2) == 0;
+    const bool has_right = rng.below(2) == 0;
+    const std::optional<NodeLoad> left =
+        has_left ? std::optional<NodeLoad>(random_load(rng)) : std::nullopt;
+    const std::optional<NodeLoad> right =
+        has_right ? std::optional<NodeLoad>(random_load(rng)) : std::nullopt;
+    const Proposal p = policy->decide(left, me, right, cfg);
+    ASSERT_GE(p.to_left, 0);
+    ASSERT_GE(p.to_right, 0);
+    ASSERT_LE(p.to_left + p.to_right,
+              static_cast<long long>(me.points) + 1);
+    // thresholds respected
+    ASSERT_TRUE(p.to_left == 0 || p.to_left >= cfg.min_transfer_points);
+    ASSERT_TRUE(p.to_right == 0 || p.to_right >= cfg.min_transfer_points);
+    // proposals only toward existing neighbors
+    if (!has_left) ASSERT_EQ(p.to_left, 0);
+    if (!has_right) ASSERT_EQ(p.to_right, 0);
+  }
+}
+
+TEST_P(RandomizedPolicy, DecisionIsDeterministic) {
+  auto policy = RemapPolicy::create(GetParam());
+  Rng rng(13);
+  for (int rep = 0; rep < 100; ++rep) {
+    const BalanceConfig cfg = random_cfg(rng);
+    const NodeLoad me = random_load(rng);
+    const NodeLoad l = random_load(rng), r = random_load(rng);
+    const Proposal a = policy->decide(l, me, r, cfg);
+    const Proposal b = policy->decide(l, me, r, cfg);
+    ASSERT_EQ(a.to_left, b.to_left);
+    ASSERT_EQ(a.to_right, b.to_right);
+  }
+}
+
+TEST_P(RandomizedPolicy, MirrorSymmetry) {
+  // swapping the left and right neighbors must swap the proposals
+  auto policy = RemapPolicy::create(GetParam());
+  Rng rng(17);
+  for (int rep = 0; rep < 200; ++rep) {
+    const BalanceConfig cfg = random_cfg(rng);
+    const NodeLoad me = random_load(rng);
+    const NodeLoad l = random_load(rng), r = random_load(rng);
+    const Proposal p = policy->decide(l, me, r, cfg);
+    const Proposal q = policy->decide(r, me, l, cfg);
+    ASSERT_EQ(p.to_left, q.to_right);
+    ASSERT_EQ(p.to_right, q.to_left);
+  }
+}
+
+TEST_P(RandomizedPolicy, NeverShipsTowardSlowerNeighborByDefault) {
+  auto policy = RemapPolicy::create(GetParam());
+  Rng rng(19);
+  for (int rep = 0; rep < 300; ++rep) {
+    BalanceConfig cfg = random_cfg(rng);
+    cfg.allow_fast_to_slow = false;
+    const NodeLoad me = random_load(rng);
+    const NodeLoad l = random_load(rng), r = random_load(rng);
+    const Proposal p = policy->decide(l, me, r, cfg);
+    if (p.to_left > 0) ASSERT_GT(l.speed(), me.speed());
+    if (p.to_right > 0) ASSERT_GT(r.speed(), me.speed());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, RandomizedPolicy,
+                         ::testing::Values("none", "conservative",
+                                           "filtered"));
+
+TEST(RandomizedGlobal, TargetsPreserveTotalAndPositivity) {
+  GlobalPolicy policy;
+  Rng rng(23);
+  for (int rep = 0; rep < 200; ++rep) {
+    const BalanceConfig cfg = random_cfg(rng);
+    const int n = 2 + static_cast<int>(rng.below(30));
+    std::vector<NodeLoad> loads;
+    long long total = 0;
+    for (int i = 0; i < n; ++i) {
+      loads.push_back(random_load(rng));
+      total += static_cast<long long>(loads.back().points);
+    }
+    const auto target = policy.decide_global(loads, cfg);
+    ASSERT_EQ(std::accumulate(target.begin(), target.end(), 0LL), total);
+    for (long long t : target) ASSERT_GE(t, 1);
+  }
+}
+
+TEST(RandomizedGlobal, FasterNodeNeverTargetsFewerPoints) {
+  GlobalPolicy policy;
+  Rng rng(29);
+  for (int rep = 0; rep < 200; ++rep) {
+    const BalanceConfig cfg = random_cfg(rng);
+    std::vector<NodeLoad> loads = {random_load(rng), random_load(rng),
+                                   random_load(rng)};
+    const auto target = policy.decide_global(loads, cfg);
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j)
+        if (loads[i].speed() > loads[j].speed() * 1.01)
+          ASSERT_GE(target[i] + 1, target[j]);
+  }
+}
+
+TEST(RandomizedResolve, AntisymmetricAndThresholded) {
+  Rng rng(31);
+  for (int rep = 0; rep < 500; ++rep) {
+    const long long a = static_cast<long long>(rng.uniform(0, 20000));
+    const long long b = static_cast<long long>(rng.uniform(0, 20000));
+    const long long thr = static_cast<long long>(rng.uniform(1, 5000));
+    const long long net = resolve_pair(a, b, thr);
+    ASSERT_EQ(resolve_pair(b, a, thr), -net);
+    if (net != 0) ASSERT_GE(std::llabs(net), thr);
+    ASSERT_EQ(net == 0 ? 0 : (net > 0 ? 1 : -1),
+              std::llabs(a - b) < thr ? 0 : (a > b ? 1 : -1));
+  }
+}
+
+TEST(RandomizedTriplet, TargetsAlwaysPreserveTotalAndEqualizeTime) {
+  Rng rng(37);
+  for (int rep = 0; rep < 500; ++rep) {
+    const NodeLoad a = random_load(rng), b = random_load(rng),
+                   c = random_load(rng);
+    const auto t = triplet_targets(a, b, c);
+    ASSERT_NEAR(t.left + t.me + t.right, a.points + b.points + c.points,
+                1e-6 * (a.points + b.points + c.points));
+    const double ta = t.left / a.speed();
+    const double tb = t.me / b.speed();
+    const double tc = t.right / c.speed();
+    ASSERT_NEAR(ta, tb, 1e-9 * std::max(1.0, ta));
+    ASSERT_NEAR(tb, tc, 1e-9 * std::max(1.0, tb));
+  }
+}

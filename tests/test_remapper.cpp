@@ -1,0 +1,143 @@
+// NodeBalancer (per-point normalized prediction) and the plane
+// quantization / boundary flow helpers shared by both runners.
+
+#include <gtest/gtest.h>
+
+#include "balance/remapper.hpp"
+
+using namespace slipflow::balance;
+
+namespace {
+
+NodeBalancer make_balancer(const char* policy = "filtered", int window = 5) {
+  BalanceConfig cfg;
+  cfg.window = window;
+  cfg.min_transfer_points = 100;
+  return NodeBalancer(cfg, RemapPolicy::create(policy));
+}
+
+}  // namespace
+
+TEST(NodeBalancer, ReadyAfterWindowFills) {
+  auto b = make_balancer();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(b.ready());
+    b.record_phase(1.0, 1000);
+  }
+  b.record_phase(1.0, 1000);
+  EXPECT_TRUE(b.ready());
+}
+
+TEST(NodeBalancer, PredictionScalesWithPoints) {
+  auto b = make_balancer();
+  for (int i = 0; i < 5; ++i) b.record_phase(2.0, 1000);
+  EXPECT_NEAR(b.predicted_time(1000), 2.0, 1e-12);
+  // per-point normalization: migrating half the points halves the
+  // prediction without invalidating the window
+  EXPECT_NEAR(b.predicted_time(500), 1.0, 1e-12);
+  EXPECT_NEAR(b.predicted_time(2000), 4.0, 1e-12);
+}
+
+TEST(NodeBalancer, MixedPointCountsStillConverge) {
+  auto b = make_balancer();
+  // same per-point speed at different owned sizes
+  b.record_phase(1.0, 1000);
+  b.record_phase(2.0, 2000);
+  b.record_phase(0.5, 500);
+  b.record_phase(1.0, 1000);
+  b.record_phase(3.0, 3000);
+  EXPECT_NEAR(b.predicted_time(1000), 1.0, 1e-12);
+}
+
+TEST(NodeBalancer, DecideBeforeReadyIsNoop) {
+  auto b = make_balancer();
+  b.record_phase(1.0, 1000);
+  const auto prop = b.decide(NodeLoad{1000, 0.1}, 1000, NodeLoad{1000, 0.1});
+  EXPECT_EQ(prop.to_left, 0);
+  EXPECT_EQ(prop.to_right, 0);
+}
+
+TEST(NodeBalancer, SlowNodeDecidesToShed) {
+  auto b = make_balancer("filtered");
+  for (int i = 0; i < 5; ++i) b.record_phase(3.0, 1000);  // slow: 333 pts/s
+  // neighbors are 3x faster
+  const auto prop = b.decide(NodeLoad{1000, 1.0}, 1000, NodeLoad{1000, 1.0});
+  EXPECT_GT(prop.to_left + prop.to_right, 0);
+}
+
+TEST(NodeBalancer, SelfLoadReflectsPrediction) {
+  auto b = make_balancer();
+  for (int i = 0; i < 5; ++i) b.record_phase(1.5, 3000);
+  const auto l = b.self_load(3000);
+  EXPECT_DOUBLE_EQ(l.points, 3000.0);
+  EXPECT_NEAR(l.predicted_time, 1.5, 1e-12);
+}
+
+TEST(NodeBalancer, RejectsBadInput) {
+  auto b = make_balancer();
+  EXPECT_THROW(b.record_phase(0.0, 100), slipflow::contract_error);
+  EXPECT_THROW(b.record_phase(1.0, 0), slipflow::contract_error);
+}
+
+TEST(Quantize, RoundsToNearestPlane) {
+  EXPECT_EQ(quantize_flow_to_planes(3900, 4000, 10), 1);
+  EXPECT_EQ(quantize_flow_to_planes(1900, 4000, 10), 0);
+  EXPECT_EQ(quantize_flow_to_planes(6001, 4000, 10), 2);
+}
+
+TEST(Quantize, PreservesSign) {
+  EXPECT_EQ(quantize_flow_to_planes(-8000, 4000, 10), -2);
+  EXPECT_EQ(quantize_flow_to_planes(-1000, 4000, 10), 0);
+}
+
+TEST(Quantize, DonorKeepsMinimumPlanes) {
+  EXPECT_EQ(quantize_flow_to_planes(40000, 4000, 3), 2);
+  EXPECT_EQ(quantize_flow_to_planes(40000, 4000, 1), 0);
+  EXPECT_EQ(quantize_flow_to_planes(-40000, 4000, 2, 2), 0);
+}
+
+TEST(Quantize, ExactPlaneMultiples) {
+  EXPECT_EQ(quantize_flow_to_planes(8000, 4000, 100), 2);
+}
+
+TEST(BoundaryFlows, TelescopeOfImbalance) {
+  // node 0 has 100 too many, node 2 has 100 too few: everything flows
+  // rightward through node 1.
+  const std::vector<long long> cur{300, 200, 100};
+  const std::vector<long long> tgt{200, 200, 200};
+  const auto f = boundary_flows(cur, tgt);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], 100);
+  EXPECT_EQ(f[1], 100);
+}
+
+TEST(BoundaryFlows, NegativeMeansLeftward) {
+  const std::vector<long long> cur{100, 200, 300};
+  const std::vector<long long> tgt{200, 200, 200};
+  const auto f = boundary_flows(cur, tgt);
+  EXPECT_EQ(f[0], -100);
+  EXPECT_EQ(f[1], -100);
+}
+
+TEST(BoundaryFlows, BalancedMeansNoFlow) {
+  const std::vector<long long> cur{5, 5, 5, 5};
+  const auto f = boundary_flows(cur, cur);
+  for (long long v : f) EXPECT_EQ(v, 0);
+}
+
+TEST(BoundaryFlows, SizesMustMatch) {
+  EXPECT_THROW(boundary_flows({1, 2}, {1}), slipflow::contract_error);
+}
+
+TEST(BoundaryFlows, ConservesAcrossExecution) {
+  // executing the flows exactly turns current into target
+  const std::vector<long long> cur{700, 100, 100, 100};
+  const std::vector<long long> tgt{250, 250, 250, 250};
+  const auto f = boundary_flows(cur, tgt);
+  std::vector<long long> state = cur;
+  for (std::size_t b = 0; b < f.size(); ++b) {
+    state[b] -= f[b];
+    state[b + 1] += f[b];
+  }
+  EXPECT_EQ(state, tgt);
+}

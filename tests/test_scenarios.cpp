@@ -1,0 +1,137 @@
+// The paper's calibrated scenario: do the virtual-cluster numbers land in
+// the published ballpark? (Exact values are not expected — the substrate
+// is a model — but the magnitudes and orderings of Section 4.2 must
+// hold.)
+
+#include <gtest/gtest.h>
+
+#include "cluster/scenario.hpp"
+
+using namespace slipflow::cluster;
+using slipflow::balance::RemapPolicy;
+
+namespace {
+
+double run_with_slow(const char* policy, int slow_nodes, int phases) {
+  ClusterSim sim(paper::base_config(), RemapPolicy::create(policy));
+  add_fixed_slow_nodes(sim, paper::slow_node_set(slow_nodes));
+  return sim.run(phases).makespan;
+}
+
+}  // namespace
+
+TEST(PaperScenario, SequentialTimeMatches43Hours) {
+  ClusterSim sim(paper::base_config(), RemapPolicy::create("none"));
+  const double hours = sim.sequential_time(paper::kLongPhases) / 3600.0;
+  EXPECT_NEAR(hours, 43.56, 0.5);
+}
+
+TEST(PaperScenario, Dedicated600PhasesNear251Seconds) {
+  // "With 20 dedicated nodes, the computation takes about 251 seconds."
+  const double t = run_with_slow("none", 0, paper::kShortPhases);
+  EXPECT_GT(t, 235.0);
+  EXPECT_LT(t, 270.0);
+}
+
+TEST(PaperScenario, DedicatedSpeedupNear19) {
+  // "The speedup is 18.97 with 20 nodes."
+  ClusterSim sim(paper::base_config(), RemapPolicy::create("none"));
+  const auto r = sim.run(paper::kShortPhases);
+  const double speedup = sim.sequential_time(paper::kShortPhases) / r.makespan;
+  EXPECT_GT(speedup, 18.0);
+  EXPECT_LT(speedup, 19.8);
+}
+
+TEST(PaperScenario, OneSlowNodeWithoutRemappingNear717Seconds) {
+  // "the total time increases from 251 seconds to 717 seconds"
+  const double t = run_with_slow("none", 1, paper::kShortPhases);
+  EXPECT_GT(t, 600.0);
+  EXPECT_LT(t, 850.0);
+}
+
+TEST(PaperScenario, FilteredRecoversMostOfTheSlowdown) {
+  // "The filtered approach ... uses only 313.0 seconds" (24.7% over the
+  // dedicated 251 s). Accept a generous band around that.
+  const double t = run_with_slow("filtered", 1, paper::kShortPhases);
+  EXPECT_GT(t, 250.0);
+  EXPECT_LT(t, 400.0);
+}
+
+TEST(PaperScenario, SchemeOrderingMatchesFigure9) {
+  const double dedicated = run_with_slow("none", 0, paper::kShortPhases);
+  const double none = run_with_slow("none", 1, paper::kShortPhases);
+  const double cons = run_with_slow("conservative", 1, paper::kShortPhases);
+  const double filt = run_with_slow("filtered", 1, paper::kShortPhases);
+  EXPECT_LT(dedicated, filt);
+  EXPECT_LT(filt, cons);
+  EXPECT_LT(cons, none);
+  // filtered reduces no-remapping substantially (paper: 56.3%)
+  EXPECT_LT(filt, 0.65 * none);
+}
+
+TEST(PaperScenario, SlowJobWeightGivesOneThirdShare) {
+  VirtualNode n;
+  n.add_load(std::make_unique<PersistentLoad>(paper::kSlowJobWeight));
+  EXPECT_NEAR(n.share_at(0.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(PaperScenario, SlowNodeSetsAreNested) {
+  for (int m = 1; m <= 5; ++m) {
+    const auto s = paper::slow_node_set(m);
+    EXPECT_EQ(s.size(), static_cast<std::size_t>(m));
+    EXPECT_EQ(s[0], paper::kProfiledSlowNode);
+  }
+  EXPECT_TRUE(paper::slow_node_set(0).empty());
+  EXPECT_THROW(paper::slow_node_set(6), slipflow::contract_error);
+}
+
+TEST(NormalizedEfficiency, MatchesPaperFormula) {
+  // speedup / (P - m (1 - share)); share 0.3 reproduces the paper's
+  // 20 - 0.7m denominator
+  EXPECT_NEAR(normalized_efficiency(19.0, 20, 0, 0.3), 19.0 / 20.0, 1e-12);
+  EXPECT_NEAR(normalized_efficiency(13.0, 20, 5, 0.3), 13.0 / 16.5, 1e-12);
+}
+
+TEST(NormalizedEfficiency, RejectsBadArguments) {
+  EXPECT_THROW(normalized_efficiency(1.0, 0, 0), slipflow::contract_error);
+  EXPECT_THROW(normalized_efficiency(1.0, 4, 5), slipflow::contract_error);
+  EXPECT_THROW(normalized_efficiency(1.0, 4, 1, 0.0),
+               slipflow::contract_error);
+}
+
+TEST(PaperScenario, FilteredKeepsEfficiencyHigh) {
+  // Figure 8: normalized efficiency ~0.9 for m < 4 slow nodes. Use a
+  // shorter run than the paper's 20000 phases to keep the test quick;
+  // the transient makes this slightly pessimistic, so accept >= 0.8.
+  ClusterSim sim(paper::base_config(), RemapPolicy::create("filtered"));
+  add_fixed_slow_nodes(sim, paper::slow_node_set(2));
+  const int phases = 3000;
+  const auto r = sim.run(phases);
+  const double speedup = sim.sequential_time(phases) / r.makespan;
+  EXPECT_GT(normalized_efficiency(speedup, 20, 2, 1.0 / 3.0), 0.8);
+}
+
+TEST(PaperScenario, TransientSpikesDeterministic) {
+  auto make = [] {
+    ClusterSim sim(paper::base_config(), RemapPolicy::create("filtered"));
+    add_transient_spikes(sim, 120.0, 2.0, 10.0, /*seed=*/5);
+    return sim.run(100).makespan;
+  };
+  EXPECT_DOUBLE_EQ(make(), make());
+}
+
+TEST(PaperScenario, GlobalWorstUnderTransientSpikes) {
+  // Table 1: global remapping degrades most under random spikes.
+  auto run_spiky = [](const char* policy) {
+    ClusterSim sim(paper::base_config(), RemapPolicy::create(policy));
+    add_transient_spikes(sim, 300.0, 3.0, 10.0, /*seed=*/11);
+    return sim.run(paper::kSpikePhases).makespan;
+  };
+  const double none = run_spiky("none");
+  const double filt = run_spiky("filtered");
+  const double glob = run_spiky("global");
+  // filtered tolerates spikes about as well as not remapping at all ...
+  EXPECT_LT(filt, 1.2 * none);
+  // ... while global pays for its synchronization
+  EXPECT_GT(glob, filt);
+}

@@ -1,0 +1,179 @@
+// Transport layer: threads-as-ranks message passing with MPI semantics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "transport/serial_comm.hpp"
+#include "transport/thread_comm.hpp"
+
+using namespace slipflow::transport;
+
+TEST(ThreadComm, RankAndSizeAreCorrect) {
+  std::atomic<int> seen{0};
+  run_ranks(4, [&](Communicator& c) {
+    EXPECT_EQ(c.size(), 4);
+    EXPECT_GE(c.rank(), 0);
+    EXPECT_LT(c.rank(), 4);
+    seen.fetch_add(1 << c.rank());
+  });
+  EXPECT_EQ(seen.load(), 0b1111);
+}
+
+TEST(ThreadComm, PointToPointDelivers) {
+  run_ranks(2, [](Communicator& c) {
+    if (c.rank() == 0) {
+      const std::vector<double> msg{1.0, 2.0, 3.0};
+      c.send(1, 42, msg);
+    } else {
+      const auto got = c.recv(0, 42);
+      EXPECT_EQ(got, (std::vector<double>{1.0, 2.0, 3.0}));
+    }
+  });
+}
+
+TEST(ThreadComm, MessagesDoNotOvertake) {
+  // FIFO per (src, dst, tag) — MPI's non-overtaking guarantee.
+  run_ranks(2, [](Communicator& c) {
+    if (c.rank() == 0) {
+      for (double v = 0; v < 50; ++v)
+        c.send(1, 7, std::vector<double>{v});
+    } else {
+      for (double v = 0; v < 50; ++v)
+        EXPECT_EQ(c.recv(0, 7)[0], v);
+    }
+  });
+}
+
+TEST(ThreadComm, TagsAreIndependentChannels) {
+  run_ranks(2, [](Communicator& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, std::vector<double>{1.0});
+      c.send(1, 2, std::vector<double>{2.0});
+    } else {
+      // receive in the opposite order of sending
+      EXPECT_EQ(c.recv(0, 2)[0], 2.0);
+      EXPECT_EQ(c.recv(0, 1)[0], 1.0);
+    }
+  });
+}
+
+TEST(ThreadComm, SelfSendWorks) {
+  run_ranks(3, [](Communicator& c) {
+    c.send(c.rank(), 5, std::vector<double>{static_cast<double>(c.rank())});
+    EXPECT_EQ(c.recv(c.rank(), 5)[0], static_cast<double>(c.rank()));
+  });
+}
+
+TEST(ThreadComm, NeighborExchangePattern) {
+  // the runner's send-both-then-recv-both halo pattern must not deadlock
+  const int n = 5;
+  run_ranks(n, [n](Communicator& c) {
+    const int l = (c.rank() + n - 1) % n;
+    const int r = (c.rank() + 1) % n;
+    const std::vector<double> mine{static_cast<double>(c.rank())};
+    c.send(r, 1, mine);
+    c.send(l, 2, mine);
+    EXPECT_EQ(c.recv(l, 1)[0], static_cast<double>(l));
+    EXPECT_EQ(c.recv(r, 2)[0], static_cast<double>(r));
+  });
+}
+
+TEST(ThreadComm, BarrierSynchronizes) {
+  std::atomic<int> before{0}, after{0};
+  run_ranks(4, [&](Communicator& c) {
+    before.fetch_add(1);
+    c.barrier();
+    // everyone must have incremented before anyone proceeds
+    EXPECT_EQ(before.load(), 4);
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(ThreadComm, AllgatherOrdersByRank) {
+  run_ranks(4, [](Communicator& c) {
+    const double mine[2] = {static_cast<double>(c.rank()),
+                            static_cast<double>(c.rank() * 10)};
+    const auto all = c.allgather(std::span<const double>(mine, 2));
+    ASSERT_EQ(all.size(), 8u);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(all[2 * static_cast<std::size_t>(r)], r);
+      EXPECT_EQ(all[2 * static_cast<std::size_t>(r) + 1], r * 10);
+    }
+  });
+}
+
+TEST(ThreadComm, RepeatedCollectivesKeepGenerations) {
+  run_ranks(3, [](Communicator& c) {
+    for (int round = 0; round < 20; ++round) {
+      const double v = c.rank() + 100.0 * round;
+      const auto all = c.allgather(std::span<const double>(&v, 1));
+      for (int r = 0; r < 3; ++r)
+        EXPECT_EQ(all[static_cast<std::size_t>(r)], r + 100.0 * round);
+    }
+  });
+}
+
+TEST(ThreadComm, AllreduceSum) {
+  run_ranks(5, [](Communicator& c) {
+    const double s = c.allreduce_sum(static_cast<double>(c.rank()));
+    EXPECT_DOUBLE_EQ(s, 0 + 1 + 2 + 3 + 4);
+  });
+}
+
+TEST(ThreadComm, AllreduceMax) {
+  run_ranks(5, [](Communicator& c) {
+    const double m = c.allreduce_max(static_cast<double>(c.rank() * 2));
+    EXPECT_DOUBLE_EQ(m, 8.0);
+  });
+}
+
+TEST(ThreadComm, SingleRankDegenerate) {
+  run_ranks(1, [](Communicator& c) {
+    EXPECT_EQ(c.size(), 1);
+    c.barrier();
+    const double v = 3.0;
+    EXPECT_EQ(c.allgather(std::span<const double>(&v, 1)),
+              std::vector<double>{3.0});
+  });
+}
+
+TEST(ThreadComm, ExceptionInOneRankPropagates) {
+  EXPECT_THROW(
+      run_ranks(3,
+                [](Communicator& c) {
+                  if (c.rank() == 1) throw std::runtime_error("rank 1 died");
+                  // other ranks block on a message that never comes; the
+                  // poison must wake them instead of deadlocking the join
+                  c.recv((c.rank() + 1) % 3, 99);
+                }),
+      std::exception);
+}
+
+TEST(ThreadComm, InvalidDestinationRejected) {
+  EXPECT_THROW(run_ranks(2,
+                         [](Communicator& c) {
+                           c.send(5, 1, std::vector<double>{1.0});
+                         }),
+               slipflow::contract_error);
+}
+
+TEST(SerialComm, SelfMessagingAndCollectives) {
+  SerialComm c;
+  EXPECT_EQ(c.rank(), 0);
+  EXPECT_EQ(c.size(), 1);
+  c.send(0, 3, std::vector<double>{4.0, 5.0});
+  EXPECT_EQ(c.recv(0, 3), (std::vector<double>{4.0, 5.0}));
+  const double v = 2.0;
+  EXPECT_EQ(c.allgather(std::span<const double>(&v, 1)),
+            std::vector<double>{2.0});
+  EXPECT_DOUBLE_EQ(c.allreduce_sum(7.0), 7.0);
+  EXPECT_DOUBLE_EQ(c.allreduce_max(7.0), 7.0);
+}
+
+TEST(SerialComm, EmptyMailboxRecvThrowsInsteadOfDeadlocking) {
+  SerialComm c;
+  EXPECT_THROW(c.recv(0, 1), slipflow::contract_error);
+}

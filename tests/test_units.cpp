@@ -1,0 +1,85 @@
+// Unit-system conversions: round trips, derived-scale consistency, the
+// paper's channel scales, and the dimensionless numbers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lbm/units.hpp"
+
+using namespace slipflow::lbm;
+
+TEST(Units, RoundTripsAreIdentity) {
+  const UnitSystem u(5e-9, 1e-11, 1000.0);
+  EXPECT_NEAR(u.to_lattice_length(u.length_m(3.7)), 3.7, 1e-12);
+  EXPECT_NEAR(u.to_lattice_time(u.time_s(42.0)), 42.0, 1e-9);
+  EXPECT_NEAR(u.to_lattice_velocity(u.velocity_m_s(0.01)), 0.01, 1e-12);
+  EXPECT_NEAR(u.to_lattice_density(u.density_kg_m3(0.97)), 0.97, 1e-12);
+  EXPECT_NEAR(u.to_lattice_acceleration(u.acceleration_m_s2(2e-5)), 2e-5,
+              1e-15);
+}
+
+TEST(Units, VelocityIsLengthOverTime) {
+  const UnitSystem u(2e-9, 4e-12, 1000.0);
+  EXPECT_DOUBLE_EQ(u.velocity_m_s(1.0), 2e-9 / 4e-12);
+}
+
+TEST(Units, ViscosityScalesAsDx2OverDt) {
+  const UnitSystem u(5e-9, 1e-11, 1000.0);
+  EXPECT_DOUBLE_EQ(u.kinematic_viscosity_m2_s(1.0 / 6.0),
+                   (1.0 / 6.0) * 25e-18 / 1e-11);
+}
+
+TEST(Units, FromViscosityRecoversTargetViscosity) {
+  // tau = 1 -> nu_lattice = 1/6; water nu = 1e-6 m^2/s
+  const UnitSystem u = UnitSystem::from_viscosity(5e-9, 1e-6, 1.0, 1000.0);
+  EXPECT_NEAR(u.kinematic_viscosity_m2_s(1.0 / 6.0), 1e-6, 1e-18);
+}
+
+TEST(Units, PaperChannelScales) {
+  // at the paper's resolution (ny = 200): dx = 5 nm
+  const UnitSystem u = UnitSystem::paper_channel(200);
+  EXPECT_NEAR(u.dx(), 5e-9, 1e-15);
+  // the time step this implies is tiny — the reason "it can take
+  // hundreds of days on a fast single-processor machine"
+  EXPECT_LT(u.dt(), 1e-10);
+  EXPECT_GT(u.dt(), 1e-13);
+  // 1 micron channel width spans ny cells
+  EXPECT_NEAR(u.to_lattice_length(1e-6), 200.0, 1e-9);
+}
+
+TEST(Units, ForceDensityAndPressureScales) {
+  const UnitSystem u(5e-9, 1e-11, 1000.0);
+  // dimensional consistency: p / (rho v^2) is dimensionless
+  const double v = u.velocity_m_s(1.0);
+  EXPECT_NEAR(u.pressure_Pa(1.0), 1000.0 * v * v, 1e-6 * 1000.0 * v * v);
+  // force density = rho * acceleration
+  EXPECT_NEAR(u.force_density_N_m3(1.0),
+              1000.0 * u.acceleration_m_s2(1.0), 1e-3);
+}
+
+TEST(Units, ReynoldsNumber) {
+  // u = 0.01, L = 20, tau = 1 -> Re = 0.01*20/(1/6) = 1.2
+  EXPECT_NEAR(UnitSystem::reynolds(0.01, 20.0, 1.0), 1.2, 1e-12);
+  // microchannel flows are laminar: tiny Re
+  EXPECT_LT(UnitSystem::reynolds(3e-4, 20.0, 1.0), 0.1);
+}
+
+TEST(Units, KnudsenNumber) {
+  // water mean free path ~0.3 nm; 0.1 micron depth -> Kn ~ 0.003
+  EXPECT_NEAR(UnitSystem::knudsen(0.3e-9, 0.1e-6), 0.003, 1e-12);
+  EXPECT_THROW(UnitSystem::knudsen(0.0, 1.0), slipflow::contract_error);
+}
+
+TEST(Units, MachNumber) {
+  EXPECT_NEAR(UnitSystem::mach(1.0 / std::sqrt(3.0)), 1.0, 1e-12);
+  // our channel velocities are deeply subsonic
+  EXPECT_LT(UnitSystem::mach(3e-4), 0.001);
+}
+
+TEST(Units, InvalidConstruction) {
+  EXPECT_THROW(UnitSystem(0.0, 1.0, 1.0), slipflow::contract_error);
+  EXPECT_THROW(UnitSystem(1.0, -1.0, 1.0), slipflow::contract_error);
+  EXPECT_THROW(UnitSystem::from_viscosity(1e-9, 1e-6, 0.5, 1.0),
+               slipflow::contract_error);
+}

@@ -1,0 +1,91 @@
+// Virtual node: fair-share scheduling and exact piecewise work
+// integration.
+
+#include <gtest/gtest.h>
+
+#include "cluster/virtual_node.hpp"
+
+using namespace slipflow::cluster;
+
+TEST(VirtualNode, DedicatedShareIsOne) {
+  VirtualNode n;
+  EXPECT_DOUBLE_EQ(n.share_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(n.rate_at(5.0), 1.0);
+  EXPECT_EQ(n.next_change(0.0), kNever);
+}
+
+TEST(VirtualNode, DedicatedWorkTakesExactlyWork) {
+  VirtualNode n;
+  EXPECT_DOUBLE_EQ(n.finish_time(3.0, 2.5), 5.5);
+}
+
+TEST(VirtualNode, PersistentCompetitorScalesTime) {
+  VirtualNode n;
+  n.add_load(std::make_unique<PersistentLoad>(2.0));  // share = 1/3
+  EXPECT_DOUBLE_EQ(n.share_at(0.0), 1.0 / 3.0);
+  EXPECT_NEAR(n.finish_time(0.0, 1.0), 3.0, 1e-12);
+}
+
+TEST(VirtualNode, MultipleCompetitorsAddWeights) {
+  VirtualNode n;
+  n.add_load(std::make_unique<PersistentLoad>(1.0));
+  n.add_load(std::make_unique<PersistentLoad>(2.0));
+  EXPECT_DOUBLE_EQ(n.share_at(1.0), 0.25);
+}
+
+TEST(VirtualNode, BaseSpeedScalesRate) {
+  VirtualNode slow(0.5);
+  EXPECT_DOUBLE_EQ(slow.finish_time(0.0, 1.0), 2.0);
+  VirtualNode fast(2.0);
+  EXPECT_DOUBLE_EQ(fast.finish_time(0.0, 1.0), 0.5);
+}
+
+TEST(VirtualNode, IntegrationAcrossLoadOnset) {
+  VirtualNode n;
+  // competitor appears at t=1: first second at rate 1, then rate 1/3
+  n.add_load(std::make_unique<PersistentLoad>(2.0, 1.0));
+  // 2 units of work: 1 unit by t=1, remaining 1 unit takes 3 s
+  EXPECT_NEAR(n.finish_time(0.0, 2.0), 4.0, 1e-12);
+}
+
+TEST(VirtualNode, IntegrationAcrossLoadEnd) {
+  VirtualNode n;
+  n.add_load(std::make_unique<PersistentLoad>(2.0, 0.0, 3.0));
+  // 3 s at share 1/3 retires 1 unit; the second unit runs dedicated
+  EXPECT_NEAR(n.finish_time(0.0, 2.0), 4.0, 1e-12);
+}
+
+TEST(VirtualNode, PeriodicDutyCycleEffectiveRate) {
+  VirtualNode n;
+  // 10 s period, busy 50% at weight 2: average rate (0.5*1 + 0.5/3)
+  n.add_load(std::make_unique<PeriodicLoad>(2.0, 10.0, 0.5));
+  // over one full period: work done = 5*1 + 5/3 = 6.6667
+  EXPECT_NEAR(n.finish_time(0.0, 5.0 + 5.0 / 3.0), 10.0, 1e-9);
+}
+
+TEST(VirtualNode, ZeroWorkFinishesImmediately) {
+  VirtualNode n;
+  n.add_load(std::make_unique<PersistentLoad>(5.0));
+  EXPECT_DOUBLE_EQ(n.finish_time(7.0, 0.0), 7.0);
+}
+
+TEST(VirtualNode, StartMidSpike) {
+  VirtualNode n;
+  n.add_load(std::make_unique<IntervalLoad>(
+      2.0, std::vector<IntervalLoad::Interval>{{0.0, 2.0}}));
+  // starting at t=1: one second left at 1/3 rate (1/3 work), then full
+  EXPECT_NEAR(n.finish_time(1.0, 1.0), 2.0 + 2.0 / 3.0, 1e-12);
+}
+
+TEST(VirtualNode, ClearLoadsRestoresDedicated) {
+  VirtualNode n;
+  n.add_load(std::make_unique<PersistentLoad>(9.0));
+  n.clear_loads();
+  EXPECT_DOUBLE_EQ(n.finish_time(0.0, 1.0), 1.0);
+}
+
+TEST(VirtualNode, RejectsNegativeWork) {
+  VirtualNode n;
+  EXPECT_THROW(n.finish_time(0.0, -1.0), slipflow::contract_error);
+  EXPECT_THROW(VirtualNode(0.0), slipflow::contract_error);
+}
