@@ -70,6 +70,9 @@ int main(int argc, char** argv) {
                m.seconds});
   }
   bench::emit(table, opts);
+  bench::Summary summary("ablation_collision_operator");
+  summary.add_table("results", table);
+  summary.write(opts);
 
   std::cout << "MRT costs ~2-3x per collision but relaxes ghost modes at "
                "tuned rates; compare the boundedness columns as tau_air "

@@ -44,6 +44,9 @@ int main(int argc, char** argv) {
     table.row({static_cast<long long>(m), time[0], time[1], mig[0], mig[1]});
   }
   bench::emit(table, opts);
+  bench::Summary summary("ablation_fast_to_slow");
+  summary.add_table("results", table);
+  summary.write(opts);
 
   std::cout << "expected: disabling the rule lets planes flow back onto "
                "slow nodes (more migrations, slower runs).\n";

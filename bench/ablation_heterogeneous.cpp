@@ -41,6 +41,9 @@ int main(int argc, char** argv) {
                r.planes_moved});
   }
   bench::emit(table, opts);
+  bench::Summary summary("ablation_heterogeneous");
+  summary.add_table("results", table);
+  summary.write(opts);
 
   std::cout << "finding: this regime inverts the paper's ranking. The "
                "filtered scheme is tuned for *externally loaded* nodes "

@@ -48,6 +48,9 @@ int main(int argc, char** argv) {
   run_one("filtered beta cap 4 (paper-like)", "filtered", 4.0);
   run_one("filtered beta cap 8", "filtered", 8.0);
   bench::emit(table, opts);
+  bench::Summary summary("ablation_overredistribution");
+  summary.add_table("results", table);
+  summary.write(opts);
 
   std::cout << "expected: aggressive shipping drains the slow node in one "
                "or two remap rounds and wins; conservative converges "

@@ -39,6 +39,9 @@ int main(int argc, char** argv) {
                r.planes_moved});
   }
   bench::emit(table, opts);
+  bench::Summary summary("ablation_predictor");
+  summary.add_table("results", table);
+  summary.write(opts);
 
   std::cout << "expected: the harmonic mean migrates least (lazy); "
                "most-recent-data predictors churn planes back and forth.\n";

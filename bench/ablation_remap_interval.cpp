@@ -36,6 +36,9 @@ int main(int argc, char** argv) {
                r.migration_events});
   }
   bench::emit(table, opts);
+  bench::Summary summary("ablation_remap_interval");
+  summary.add_table("results", table);
+  summary.write(opts);
 
   std::cout << "expected: a broad optimum around the paper's ~10 phases; "
                "very rare remapping approaches the no-remap time.\n";

@@ -29,6 +29,9 @@ int main(int argc, char** argv) {
     table.row({static_cast<long long>(n), r.makespan, sp, sp / n});
   }
   bench::emit(table, opts);
+  bench::Summary summary("ablation_scaling");
+  summary.add_table("results", table);
+  summary.write(opts);
 
   std::cout << "paper: almost full linear speedup; 18.97 at 20 nodes.\n";
   return 0;

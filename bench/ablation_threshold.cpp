@@ -33,6 +33,9 @@ int main(int argc, char** argv) {
     table.row({thr, r.makespan, r.migration_events, r.planes_moved});
   }
   bench::emit(table, opts);
+  bench::Summary summary("ablation_threshold");
+  summary.add_table("results", table);
+  summary.write(opts);
 
   std::cout << "expected: too-large thresholds leave the slow node "
                "overloaded; the paper's 4000 (one plane) is near the "

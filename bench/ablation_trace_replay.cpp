@@ -68,6 +68,9 @@ int main(int argc, char** argv) {
     table.row(std::move(row));
   }
   bench::emit(table, opts);
+  bench::Summary summary("ablation_trace_replay");
+  summary.add_table("results", table);
+  summary.write(opts);
 
   std::cout << "expected: for short episodes no-remapping is already near "
                "optimal and lazy filtering limits the damage; as episodes "

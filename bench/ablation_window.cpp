@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
                rp.migration_events, rs.makespan, rs.migration_events});
   }
   bench::emit(table, opts);
+  bench::Summary summary("ablation_window");
+  summary.add_table("results", table);
+  summary.write(opts);
 
   std::cout << "expected: K near the paper's 10 balances fast adaptation "
                "to persistent slowness against immunity to short spikes.\n";

@@ -1,11 +1,26 @@
 #pragma once
 /// \file bench_common.hpp
 /// Shared plumbing for the figure/table reproduction harnesses: option
-/// handling and uniform output (aligned table to stdout, optional CSV).
+/// handling, uniform output (aligned table to stdout, optional CSV), and
+/// the machine-readable summary every harness emits.
+///
+/// Summary convention: each harness builds a bench::Summary and calls
+/// write(opts) at the end, producing `BENCH_<name>.json` in the working
+/// directory (override with --json=<path>, disable with --json=none).
+/// These files are the replayable trajectory of the repo's performance
+/// claims — CI and regression tooling read them instead of scraping the
+/// stdout tables.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
 
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -24,6 +39,8 @@ inline void emit(const util::Table& table, const util::Options& opts) {
 
 /// Fail fast on mistyped options.
 inline void check_options(const util::Options& opts) {
+  // --json is consumed later by Summary::write; every harness takes it
+  (void)opts.get("json", std::string{});
   const auto unused = opts.unused_keys();
   if (!unused.empty()) {
     std::cerr << "unknown option(s):";
@@ -32,5 +49,75 @@ inline void check_options(const util::Options& opts) {
     std::exit(2);
   }
 }
+
+/// Machine-readable result summary of one bench run (see file comment).
+class Summary {
+ public:
+  explicit Summary(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  void add(const std::string& key, double v) {
+    scalars_.emplace_back(key, util::json_number(v));
+  }
+  void add(const std::string& key, long long v) {
+    scalars_.emplace_back(key, util::json_number(v));
+  }
+  void add(const std::string& key, const std::string& v) {
+    scalars_.emplace_back(key, util::json_string(v));
+  }
+
+  /// Serialize a result table as an array of {column: value} records.
+  void add_table(const std::string& key, const util::Table& t) {
+    std::string json = "[";
+    const auto& cols = t.column_names();
+    for (std::size_t r = 0; r < t.data().size(); ++r) {
+      json += r == 0 ? "\n    {" : ",\n    {";
+      const auto& row = t.data()[r];
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) json += ", ";
+        json += util::json_string(cols[c]) + ": ";
+        if (const auto* s = std::get_if<std::string>(&row[c]))
+          json += util::json_string(*s);
+        else if (const auto* d = std::get_if<double>(&row[c]))
+          json += util::json_number(*d);
+        else
+          json += util::json_number(std::get<long long>(row[c]));
+      }
+      json += "}";
+    }
+    json += "\n  ]";
+    tables_.emplace_back(key, std::move(json));
+  }
+
+  /// Fold a metrics registry's counter totals into the scalars.
+  void add_metrics(const obs::MetricsRegistry& reg,
+                   const std::string& prefix = "metrics/") {
+    for (const std::string& name : reg.counter_names())
+      add(prefix + name, reg.counter_total(name));
+  }
+
+  /// Write BENCH_<name>.json (or --json=<path>; --json=none disables).
+  void write(const util::Options& opts) const {
+    const std::string path =
+        opts.get("json", "BENCH_" + name_ + ".json");
+    if (path.empty() || path == "none") return;
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "cannot write summary json to " << path << "\n";
+      return;
+    }
+    os << "{\n  \"bench\": " << util::json_string(name_);
+    for (const auto& [k, v] : scalars_)
+      os << ",\n  " << util::json_string(k) << ": " << v;
+    for (const auto& [k, v] : tables_)
+      os << ",\n  " << util::json_string(k) << ": " << v;
+    os << "\n}\n";
+    std::cout << "(summary json written to " << path << ")\n";
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> scalars_;
+  std::vector<std::pair<std::string, std::string>> tables_;
+};
 
 }  // namespace slipflow::bench

@@ -38,6 +38,9 @@ int main(int argc, char** argv) {
     table.row({pct / 100.0, t, 100.0 * (t - baseline) / baseline});
   }
   bench::emit(table, opts);
+  bench::Summary summary("fig03_disturbance");
+  summary.add_table("rows", table);
+  summary.write(opts);
 
   std::cout << "paper: ~250 s dedicated; overhead close to linear below "
                "60% disturbance, sharply increasing after (roughly 190% at "

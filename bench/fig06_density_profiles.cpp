@@ -77,6 +77,9 @@ int main(int argc, char** argv) {
                air[ju], water[ju] / wbulk, air[ju] / ainit});
   }
   bench::emit(table, opts);
+  bench::Summary summary("fig06_density_profiles");
+  summary.add_table("profiles", table);
+  summary.write(opts);
 
   std::cout << "paper (Fig 6): water density decreased and air/vapor "
                "density increased within ~40 nm of the hydrophobic wall.\n"

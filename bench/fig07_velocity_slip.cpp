@@ -84,6 +84,13 @@ int main(int argc, char** argv) {
             sc.u_wall_node / sc.u_center});
   slip.print(std::cout);
 
+  bench::Summary summary("fig07_velocity_slip");
+  summary.add("slip_fraction_wall_forces", sf.slip_fraction);
+  summary.add("slip_fraction_no_forces", sc.slip_fraction);
+  summary.add("u_center_wall_forces", sf.u_center);
+  summary.add_table("profile", table);
+  summary.write(opts);
+
   std::cout << "\npaper (Fig 7): apparent slip of approximately 10% of the "
                "free stream velocity with wall forces; no slip without.\n";
   return 0;

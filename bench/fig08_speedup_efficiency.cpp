@@ -41,6 +41,9 @@ int main(int argc, char** argv) {
                normalized_efficiency(speedup[1], 20, m)});
   }
   bench::emit(table, opts);
+  bench::Summary summary("fig08_speedup_efficiency");
+  summary.add_table("scaling", table);
+  summary.write(opts);
 
   std::cout << "paper (Fig 8): filtered speedup ~19/16/13 at 0/1/5 slow "
                "nodes; efficiency ~0.9 for m<4 and ~0.8 at m=5; "

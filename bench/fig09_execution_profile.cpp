@@ -7,7 +7,15 @@
 /// communication on the critical path; filtered ~313 s (+24.7%),
 /// draining node 9 via over-redistribution.
 ///
+/// The per-node breakdown is read from the MetricsRegistry each run
+/// populates (the same data a --trace export visualizes), not from
+/// bespoke accumulators.
+///
 ///   usage: fig09_execution_profile [--phases=600] [--csv=path]
+///                                  [--json=path|none] [--trace=prefix]
+
+#include <algorithm>
+#include <fstream>
 
 #include "bench_common.hpp"
 #include "cluster/scenario.hpp"
@@ -19,6 +27,7 @@ int main(int argc, char** argv) {
   const auto opts = util::Options::parse(argc, argv);
   const int phases = static_cast<int>(opts.get("phases", 600LL));
   const std::string csv = opts.get("csv", std::string{});
+  const std::string trace_prefix = opts.get("trace", std::string{});
   (void)csv;
   bench::check_options(opts);
 
@@ -39,24 +48,51 @@ int main(int argc, char** argv) {
   util::Table totals("Figure 9 — total execution time per scheme");
   totals.header({"scheme", "exec_time_s", "vs_dedicated_pct"});
 
+  bench::Summary summary("fig09_execution_profile");
+  summary.add("phases", static_cast<long long>(phases));
+
   double dedicated = 0.0;
   for (const Scheme& s : schemes) {
     ClusterSim sim(paper::base_config(),
                    balance::RemapPolicy::create(s.policy));
     if (s.slow_node)
       add_fixed_slow_nodes(sim, {paper::kProfiledSlowNode});
-    const auto r = sim.run(phases);
-    if (s.label == std::string("dedicated")) dedicated = r.makespan;
-    for (int i = 0; i < 20; ++i) {
-      const auto& p = r.profile[static_cast<std::size_t>(i)];
+    // spans are only needed when exporting a trace; counters always are
+    obs::MetricsRegistry reg(sim.config().nodes, !trace_prefix.empty());
+    sim.attach_metrics(&reg);
+    (void)sim.run(phases);
+
+    double makespan = 0.0;
+    for (int i = 0; i < sim.config().nodes; ++i)
+      makespan = std::max(makespan, reg.gauge(i, "time/total"));
+    if (s.label == std::string("dedicated")) dedicated = makespan;
+
+    for (int i = 0; i < sim.config().nodes; ++i) {
       per_node.row({std::string(s.label), static_cast<long long>(i),
-                    p.compute, p.comm, p.remap, p.planes_end});
+                    reg.counter(i, "time/compute"),
+                    reg.counter(i, "time/comm"),
+                    reg.counter(i, "time/remap"),
+                    static_cast<long long>(reg.gauge(i, "planes_end"))});
     }
-    totals.row({std::string(s.label), r.makespan,
-                100.0 * (r.makespan - dedicated) / dedicated});
+    totals.row({std::string(s.label), makespan,
+                100.0 * (makespan - dedicated) / dedicated});
+    summary.add(std::string("exec_time_s/") + s.label, makespan);
+    summary.add(std::string("planes_moved/") + s.label,
+                reg.counter_total("planes_sent"));
+
+    if (!trace_prefix.empty()) {
+      const std::string path = trace_prefix + s.label + ".trace.json";
+      std::ofstream os(path);
+      write_chrome_trace(reg, os, std::string("fig09 ") + s.label);
+      std::cout << "(chrome trace written to " << path
+                << " — open in chrome://tracing or ui.perfetto.dev)\n";
+    }
   }
   bench::emit(per_node, opts);
   totals.print(std::cout);
+
+  summary.add_table("totals", totals);
+  summary.write(opts);
 
   std::cout << "\npaper (Fig 9): 251 s dedicated, 717 s no-remap "
                "(+185.6%), conservative in between, 313 s filtered "

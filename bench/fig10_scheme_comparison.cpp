@@ -41,6 +41,9 @@ int main(int argc, char** argv) {
     table.row(std::move(row));
   }
   bench::emit(table, opts);
+  bench::Summary summary("fig10_scheme_comparison");
+  summary.add_table("schemes", table);
+  summary.write(opts);
 
   std::cout << "paper (Fig 10): filtered best everywhere (<=57.8% vs "
                "no-remap, <=39% vs conservative); global competitive at "

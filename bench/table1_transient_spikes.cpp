@@ -55,6 +55,9 @@ int main(int argc, char** argv) {
     table.row(std::move(row));
   }
   bench::emit(table, opts);
+  bench::Summary summary("table1_transient_spikes");
+  summary.add_table("slowdown", table);
+  summary.write(opts);
 
   std::cout << "paper (Table 1): no-remap 7.4/11.9/23.7/35.6%, global "
                "5.8/37.2/40.9/49.5%, filtered 6.7/15.6/23.3/38.1%, "

@@ -35,6 +35,22 @@ VirtualNode& ClusterSim::node(int i) {
   return nodes_[static_cast<std::size_t>(i)];
 }
 
+void ClusterSim::attach_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr)
+    SLIPFLOW_REQUIRE_MSG(metrics->ranks() >= cfg_.nodes,
+                         "metrics registry needs one shard per node");
+  metrics_ = metrics;
+}
+
+void ClusterSim::span(int node, const char* name, double begin, double end) {
+  if (metrics_ != nullptr)
+    metrics_->record_span(node, name, begin, end, phase_);
+}
+
+void ClusterSim::count(int node, const char* name, double delta) {
+  if (metrics_ != nullptr) metrics_->add(node, name, delta);
+}
+
 std::vector<long long> ClusterSim::even_planes(long long total, int nodes) {
   SLIPFLOW_REQUIRE(nodes >= 1 && total >= nodes);
   std::vector<long long> planes(static_cast<std::size_t>(nodes),
@@ -50,9 +66,11 @@ double ClusterSim::sequential_time(int phases) const {
 
 void ClusterSim::exchange(std::vector<double>& t, double bytes_per_cell,
                           std::vector<NodeProfile>& prof,
-                          std::vector<double>* comm_into) {
+                          std::vector<double>* comm_into,
+                          const char* span_name) {
   const int n = cfg_.nodes;
   const double bytes = bytes_per_cell * static_cast<double>(cfg_.plane_cells);
+  const std::vector<double> t_in(t);
 
   // 1. Every node spends CPU packing/posting its boundary messages; on a
   //    loaded node this takes 1/share longer (integrated exactly).
@@ -94,6 +112,13 @@ void ClusterSim::exchange(std::vector<double>& t, double bytes_per_cell,
     ready[ui] = done;
   }
   t = ready;
+  for (int i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    span(i, span_name, t_in[ui], t[ui]);
+    count(i, "time/comm", t[ui] - t_in[ui]);
+    const int neighbors = (i > 0 ? 1 : 0) + (i + 1 < n ? 1 : 0);
+    count(i, "halo_bytes", bytes * static_cast<double>(neighbors));
+  }
 }
 
 void ClusterSim::execute_transfer(int donor, int recv, long long k,
@@ -120,6 +145,9 @@ void ClusterSim::execute_transfer(int donor, int recv, long long k,
   res.profile[ur].planes_received += k;
   res.migration_events += 1;
   res.planes_moved += k;
+  count(donor, "planes_sent", static_cast<double>(k));
+  count(recv, "planes_received", static_cast<double>(k));
+  count(donor, "migration_bytes", bytes);
 }
 
 void ClusterSim::remap_local(std::vector<double>& t,
@@ -260,9 +288,10 @@ SimResult ClusterSim::run(int phases) {
       policy_->name() != "none";  // "none" skips the whole remap step
 
   for (int phase = 1; phase <= phases; ++phase) {
+    phase_ = phase;
     std::vector<double> phase_compute(static_cast<std::size_t>(n), 0.0);
 
-    auto stage = [&](double fraction) {
+    auto stage = [&](double fraction, const char* name) {
       for (int i = 0; i < n; ++i) {
         const auto ui = static_cast<std::size_t>(i);
         const double work = static_cast<double>(planes[ui] * pc) *
@@ -270,15 +299,18 @@ SimResult ClusterSim::run(int phases) {
         const double done = nodes_[ui].finish_time(t[ui], work);
         res.profile[ui].compute += done - t[ui];
         phase_compute[ui] += done - t[ui];
+        span(i, name, t[ui], done);
+        count(i, "time/compute", done - t[ui]);
         t[ui] = done;
       }
     };
 
-    stage(cfg_.stage_fraction[0]);
-    exchange(t, cfg_.f_halo_bytes_per_cell, res.profile, nullptr);
-    stage(cfg_.stage_fraction[1]);
-    exchange(t, cfg_.density_halo_bytes_per_cell, res.profile, nullptr);
-    stage(cfg_.stage_fraction[2]);
+    stage(cfg_.stage_fraction[0], "collide");
+    exchange(t, cfg_.f_halo_bytes_per_cell, res.profile, nullptr, "halo_f");
+    stage(cfg_.stage_fraction[1], "stream_density");
+    exchange(t, cfg_.density_halo_bytes_per_cell, res.profile, nullptr,
+             "halo_density");
+    stage(cfg_.stage_fraction[2], "force_velocity");
 
     for (int i = 0; i < n; ++i) {
       const auto ui = static_cast<std::size_t>(i);
@@ -287,17 +319,29 @@ SimResult ClusterSim::run(int phases) {
     }
 
     if (remapping && phase % cfg_.remap_interval == 0) {
+      const std::vector<double> t_in(t);
       if (policy_->global())
         remap_global(t, planes, bal, res);
       else
         remap_local(t, planes, bal, res);
+      for (int i = 0; i < n; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        span(i, "remap", t_in[ui], t[ui]);
+        count(i, "time/remap", t[ui] - t_in[ui]);
+        count(i, "remap_invocations", 1.0);
+      }
     }
   }
+  phase_ = -1;
 
   for (int i = 0; i < n; ++i) {
     const auto ui = static_cast<std::size_t>(i);
     res.profile[ui].planes_end = planes[ui];
     res.makespan = std::max(res.makespan, t[ui]);
+    if (metrics_ != nullptr) {
+      metrics_->set(i, "planes_end", static_cast<double>(planes[ui]));
+      metrics_->set(i, "time/total", t[ui]);
+    }
   }
   return res;
 }

@@ -24,6 +24,7 @@
 #include "balance/remapper.hpp"
 #include "cluster/network.hpp"
 #include "cluster/virtual_node.hpp"
+#include "obs/metrics.hpp"
 
 namespace slipflow::cluster {
 
@@ -83,6 +84,14 @@ class ClusterSim {
 
   const ClusterConfig& config() const { return cfg_; }
 
+  /// Attach a metrics sink (one shard per node, ranks() >= nodes).
+  /// run() then records every stage / halo / remap span in *virtual*
+  /// seconds — deterministically, so identical runs export identical
+  /// bytes — using the same stage names as the thread-parallel runner
+  /// (see DESIGN.md "Observability"). Metrics accumulate across run()
+  /// calls; pass nullptr to detach.
+  void attach_metrics(obs::MetricsRegistry* metrics);
+
   /// Simulate `phases` LBM phases from virtual time 0.
   SimResult run(int phases);
 
@@ -99,7 +108,9 @@ class ClusterSim {
   struct ExchangeKind;
   void exchange(std::vector<double>& t, double bytes_per_cell,
                 std::vector<NodeProfile>& prof,
-                std::vector<double>* comm_into);
+                std::vector<double>* comm_into, const char* span_name);
+  void span(int node, const char* name, double begin, double end);
+  void count(int node, const char* name, double delta);
   void remap_local(std::vector<double>& t, std::vector<long long>& planes,
                    std::vector<balance::NodeBalancer>& bal, SimResult& res);
   void remap_global(std::vector<double>& t, std::vector<long long>& planes,
@@ -111,6 +122,8 @@ class ClusterSim {
   ClusterConfig cfg_;
   std::shared_ptr<const balance::RemapPolicy> policy_;
   std::vector<VirtualNode> nodes_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  long long phase_ = -1;  ///< phase label for recorded spans
 };
 
 }  // namespace slipflow::cluster

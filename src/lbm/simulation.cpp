@@ -48,8 +48,21 @@ void Simulation::restore_checkpoint(const std::string& path) {
 void Simulation::run(int phases) {
   SLIPFLOW_REQUIRE_MSG(initialized_, "call initialize() before run()");
   SLIPFLOW_REQUIRE(phases >= 0);
-  for (int i = 0; i < phases; ++i) step_phase(slab_, halo_);
-  phases_done_ += phases;
+  if (prof_ == nullptr) {
+    for (int i = 0; i < phases; ++i) step_phase(slab_, halo_);
+    phases_done_ += phases;
+    return;
+  }
+  for (int i = 0; i < phases; ++i) {
+    prof_->begin_phase(phases_done_ + 1);
+    const double begin = prof_->now();
+    step_phase(slab_, halo_);
+    const double end = prof_->now();
+    prof_->record_span("phase", begin, end);
+    prof_->observe("phase_seconds", end - begin);
+    phases_done_ += 1;
+  }
+  prof_->set("phases_done", static_cast<double>(phases_done_));
 }
 
 int Simulation::run_until_steady(int max_phases, double tolerance,

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "lbm/stepper.hpp"
+#include "obs/profiler.hpp"
 
 namespace slipflow::lbm {
 
@@ -55,6 +56,11 @@ class Simulation {
   /// Number of phases executed since initialization.
   long long phase_count() const { return phases_done_; }
 
+  /// Attach an observability profiler (not owned; pass nullptr to
+  /// detach). run() then records one "phase" span per LBM phase plus a
+  /// phase_seconds histogram through the profiler's injected clock.
+  void attach_profiler(obs::PhaseProfiler* prof) { prof_ = prof; }
+
   Slab& slab() { return slab_; }
   const Slab& slab() const { return slab_; }
   const ChannelGeometry& geometry() const { return *geom_; }
@@ -63,6 +69,7 @@ class Simulation {
   std::shared_ptr<const ChannelGeometry> geom_;
   Slab slab_;
   PeriodicSelfExchanger halo_;
+  obs::PhaseProfiler* prof_ = nullptr;
   long long phases_done_ = 0;
   bool initialized_ = false;
 };

@@ -1,0 +1,68 @@
+#pragma once
+/// \file clock.hpp
+/// Injectable time sources for the observability layer.
+///
+/// Every consumer of time in the instrumented runners goes through a
+/// Clock so that (a) the virtual cluster records *virtual* seconds and
+/// its exports are bit-deterministic, and (b) tests can replace wall
+/// time with a deterministic source so CI scheduling noise never feeds
+/// the load predictors (see sim/parallel_lbm.cpp).
+
+#include <chrono>
+#include <functional>
+#include <memory>
+
+namespace slipflow::obs {
+
+/// Monotonic time source reporting seconds since an arbitrary epoch.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double now() = 0;
+};
+
+/// Real wall time (steady_clock), epoch at construction.
+class WallClock final : public Clock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+  double now() override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Externally driven time — the virtual-cluster pattern: the simulation
+/// advances the clock explicitly and every read sees the same value.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(double start = 0.0) : t_(start) {}
+  double now() override { return t_; }
+  void set(double t) { t_ = t; }
+  void advance(double dt) { t_ += dt; }
+
+ private:
+  double t_;
+};
+
+/// Deterministic fake for tests: every now() call advances time by a
+/// fixed step, so "measured" stage durations depend only on the call
+/// sequence, never on the machine. Inject one per rank to make the
+/// thread-parallel runner's load predictions reproducible.
+class CountingClock final : public Clock {
+ public:
+  explicit CountingClock(double step = 1e-3) : step_(step) {}
+  double now() override { return t_ += step_; }
+
+ private:
+  double t_ = 0.0;
+  double step_;
+};
+
+/// Factory signature used by the runners: rank -> that rank's clock.
+using ClockFactory = std::function<std::shared_ptr<Clock>(int rank)>;
+
+}  // namespace slipflow::obs

@@ -1,0 +1,204 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "util/json.hpp"
+
+namespace slipflow::obs {
+
+MetricsRegistry::MetricsRegistry(int ranks, bool keep_spans)
+    : keep_spans_(keep_spans) {
+  SLIPFLOW_REQUIRE(ranks >= 1);
+  shards_.resize(static_cast<std::size_t>(ranks));
+}
+
+void MetricsRegistry::add(int rank, std::string_view name, double delta) {
+  auto& m = shard(rank).counters;
+  const auto it = m.find(name);
+  if (it == m.end())
+    m.emplace(std::string(name), delta);
+  else
+    it->second += delta;
+}
+
+void MetricsRegistry::set(int rank, std::string_view name, double value) {
+  auto& m = shard(rank).gauges;
+  const auto it = m.find(name);
+  if (it == m.end())
+    m.emplace(std::string(name), value);
+  else
+    it->second = value;
+}
+
+void MetricsRegistry::observe(int rank, std::string_view name, double value) {
+  auto& m = shard(rank).histograms;
+  const auto it = m.find(name);
+  if (it == m.end()) {
+    m.emplace(std::string(name), HistogramSummary{1, value, value, value});
+  } else {
+    HistogramSummary& h = it->second;
+    h.count += 1;
+    h.sum += value;
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+}
+
+void MetricsRegistry::record_span(int rank, std::string_view name,
+                                  double begin, double end, long long phase) {
+  SLIPFLOW_REQUIRE_MSG(end >= begin, "span '" << name << "' ends before it begins");
+  add(rank, "time/" + std::string(name), end - begin);
+  if (keep_spans_)
+    shard(rank).spans.push_back(
+        TraceSpan{std::string(name), begin, end, phase});
+}
+
+double MetricsRegistry::counter(int rank, std::string_view name) const {
+  const auto& m = shard(rank).counters;
+  const auto it = m.find(name);
+  return it == m.end() ? 0.0 : it->second;
+}
+
+double MetricsRegistry::counter_total(std::string_view name) const {
+  double total = 0.0;
+  for (int r = 0; r < ranks(); ++r) total += counter(r, name);
+  return total;
+}
+
+bool MetricsRegistry::has_gauge(int rank, std::string_view name) const {
+  const auto& m = shard(rank).gauges;
+  return m.find(name) != m.end();
+}
+
+double MetricsRegistry::gauge(int rank, std::string_view name) const {
+  const auto& m = shard(rank).gauges;
+  const auto it = m.find(name);
+  SLIPFLOW_REQUIRE_MSG(it != m.end(), "no gauge '" << name << "' on rank " << rank);
+  return it->second;
+}
+
+HistogramSummary MetricsRegistry::histogram(int rank,
+                                            std::string_view name) const {
+  const auto& m = shard(rank).histograms;
+  const auto it = m.find(name);
+  return it == m.end() ? HistogramSummary{} : it->second;
+}
+
+const std::vector<TraceSpan>& MetricsRegistry::spans(int rank) const {
+  return shard(rank).spans;
+}
+
+namespace {
+template <typename Map>
+void collect_names(const std::vector<const Map*>& maps,
+                   std::vector<std::string>& out) {
+  std::set<std::string> names;
+  for (const Map* m : maps)
+    for (const auto& kv : *m) names.insert(kv.first);
+  out.assign(names.begin(), names.end());
+}
+}  // namespace
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  std::vector<const std::map<std::string, double, std::less<>>*> maps;
+  for (const Shard& s : shards_) maps.push_back(&s.counters);
+  std::vector<std::string> out;
+  collect_names(maps, out);
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::gauge_names() const {
+  std::vector<const std::map<std::string, double, std::less<>>*> maps;
+  for (const Shard& s : shards_) maps.push_back(&s.gauges);
+  std::vector<std::string> out;
+  collect_names(maps, out);
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::vector<const std::map<std::string, HistogramSummary, std::less<>>*> maps;
+  for (const Shard& s : shards_) maps.push_back(&s.histograms);
+  std::vector<std::string> out;
+  collect_names(maps, out);
+  return out;
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "kind,rank,name,value,count,min,max\n";
+  for (int r = 0; r < ranks(); ++r)
+    for (const auto& [name, v] : shard(r).counters)
+      os << "counter," << r << ',' << name << ',' << util::json_number(v)
+         << ",,,\n";
+  for (int r = 0; r < ranks(); ++r)
+    for (const auto& [name, v] : shard(r).gauges)
+      os << "gauge," << r << ',' << name << ',' << util::json_number(v)
+         << ",,,\n";
+  for (int r = 0; r < ranks(); ++r)
+    for (const auto& [name, h] : shard(r).histograms)
+      os << "histogram," << r << ',' << name << ','
+         << util::json_number(h.sum) << ',' << h.count << ','
+         << util::json_number(h.min) << ',' << util::json_number(h.max)
+         << '\n';
+}
+
+void MetricsRegistry::write_summary_json(std::ostream& os) const {
+  const auto counters = counter_names();
+  const auto gauges = gauge_names();
+  const auto hists = histogram_names();
+
+  os << "{\n  \"ranks\": " << ranks() << ",\n  \"totals\": {";
+  bool first = true;
+  for (const std::string& name : counters) {
+    os << (first ? "\n" : ",\n") << "    " << util::json_string(name) << ": "
+       << util::json_number(counter_total(name));
+    first = false;
+  }
+  os << "\n  },\n  \"per_rank\": [";
+  for (int r = 0; r < ranks(); ++r) {
+    os << (r == 0 ? "\n" : ",\n") << "    {\"rank\": " << r;
+    for (const std::string& name : counters)
+      os << ", " << util::json_string(name) << ": "
+         << util::json_number(counter(r, name));
+    for (const std::string& name : gauges)
+      if (has_gauge(r, name))
+        os << ", " << util::json_string(name) << ": "
+           << util::json_number(gauge(r, name));
+    for (const std::string& name : hists) {
+      const HistogramSummary h = histogram(r, name);
+      if (h.count == 0) continue;
+      os << ", " << util::json_string(name + "/count") << ": " << h.count
+         << ", " << util::json_string(name + "/mean") << ": "
+         << util::json_number(h.sum / static_cast<double>(h.count))
+         << ", " << util::json_string(name + "/max") << ": "
+         << util::json_number(h.max);
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+void write_chrome_trace(const MetricsRegistry& reg, std::ostream& os,
+                        const std::string& process_name) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  os << "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
+     << util::json_string(process_name) << "}}";
+  for (int r = 0; r < reg.ranks(); ++r)
+    os << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << r
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"rank " << r
+       << "\"}}";
+  for (int r = 0; r < reg.ranks(); ++r) {
+    for (const TraceSpan& s : reg.spans(r)) {
+      os << ",\n{\"ph\":\"X\",\"pid\":0,\"tid\":" << r << ",\"name\":"
+         << util::json_string(s.name) << ",\"cat\":\"stage\",\"ts\":"
+         << util::json_number(s.begin * 1e6) << ",\"dur\":"
+         << util::json_number((s.end - s.begin) * 1e6);
+      if (s.phase >= 0) os << ",\"args\":{\"phase\":" << s.phase << "}";
+      os << "}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace slipflow::obs

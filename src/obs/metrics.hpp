@@ -1,0 +1,119 @@
+#pragma once
+/// \file metrics.hpp
+/// MetricsRegistry — the per-rank metric store behind every instrumented
+/// runner: named counters (monotonic sums), gauges (last value written),
+/// histograms (count/sum/min/max summaries), and timeline spans for the
+/// Chrome trace export.
+///
+/// Sharding contract: the registry is created with a fixed rank count
+/// and each shard is written by exactly ONE thread (the rank's own
+/// thread in the thread-parallel runner; the single simulation thread
+/// in the virtual cluster). Under that contract no locking is needed on
+/// the hot path. Readers (exporters, tests) run after the writers have
+/// joined. Exports are deterministic: metrics are kept in ordered maps
+/// and spans in recording order, so identical runs serialize to
+/// identical bytes.
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace slipflow::obs {
+
+/// Count/sum/min/max summary of observed samples.
+struct HistogramSummary {
+  long long count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One closed interval on a rank's timeline (seconds; wall or virtual,
+/// whatever the recording clock produced). `phase` is the 1-based LBM
+/// phase it belongs to, or -1 when not phase-scoped.
+struct TraceSpan {
+  std::string name;
+  double begin = 0.0;
+  double end = 0.0;
+  long long phase = -1;
+};
+
+class MetricsRegistry {
+ public:
+  /// \param ranks       number of shards (>= 1)
+  /// \param keep_spans  when false, record_span still accumulates the
+  ///                    `time/<name>` counter but drops the timeline —
+  ///                    the cheap mode for long runs that only need
+  ///                    totals, not a trace.
+  explicit MetricsRegistry(int ranks, bool keep_spans = true);
+
+  int ranks() const { return static_cast<int>(shards_.size()); }
+  bool keeps_spans() const { return keep_spans_; }
+
+  // --- writers (one thread per rank) ---
+  void add(int rank, std::string_view name, double delta);
+  void set(int rank, std::string_view name, double value);
+  void observe(int rank, std::string_view name, double value);
+  /// Record a timeline span and fold its duration into the counter
+  /// `time/<name>`.
+  void record_span(int rank, std::string_view name, double begin, double end,
+                   long long phase = -1);
+
+  // --- readers (after writers are done) ---
+  double counter(int rank, std::string_view name) const;       ///< 0 if absent
+  double counter_total(std::string_view name) const;           ///< sum over ranks
+  bool has_gauge(int rank, std::string_view name) const;
+  double gauge(int rank, std::string_view name) const;         ///< requires present
+  HistogramSummary histogram(int rank, std::string_view name) const;
+  const std::vector<TraceSpan>& spans(int rank) const;
+
+  /// All counter / gauge / histogram names present in any shard, sorted.
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> gauge_names() const;
+  std::vector<std::string> histogram_names() const;
+
+  /// Flat CSV of every metric:
+  ///   kind,rank,name,value,count,min,max
+  /// with `value` the counter value / gauge value / histogram sum.
+  /// Rows are sorted (kind, rank, name); numbers use the shortest
+  /// round-trippable decimal form, so identical runs give identical
+  /// bytes.
+  void write_csv(std::ostream& os) const;
+
+  /// Aggregate summary JSON: per-metric totals over all ranks plus the
+  /// per-rank breakdown. Deterministic for identical runs.
+  void write_summary_json(std::ostream& os) const;
+
+ private:
+  struct Shard {
+    std::map<std::string, double, std::less<>> counters;
+    std::map<std::string, double, std::less<>> gauges;
+    std::map<std::string, HistogramSummary, std::less<>> histograms;
+    std::vector<TraceSpan> spans;
+  };
+
+  const Shard& shard(int rank) const {
+    SLIPFLOW_REQUIRE(rank >= 0 && rank < ranks());
+    return shards_[static_cast<std::size_t>(rank)];
+  }
+  Shard& shard(int rank) {
+    SLIPFLOW_REQUIRE(rank >= 0 && rank < ranks());
+    return shards_[static_cast<std::size_t>(rank)];
+  }
+
+  std::vector<Shard> shards_;
+  bool keep_spans_;
+};
+
+/// Chrome trace_event JSON (load in chrome://tracing or
+/// https://ui.perfetto.dev): one complete ("ph":"X") event per recorded
+/// span, rank mapped to tid. Timestamps are microseconds as Chrome
+/// expects.
+void write_chrome_trace(const MetricsRegistry& reg, std::ostream& os,
+                        const std::string& process_name = "slipflow");
+
+}  // namespace slipflow::obs

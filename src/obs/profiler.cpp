@@ -1,0 +1,19 @@
+#include "obs/profiler.hpp"
+
+namespace slipflow::obs {
+
+PhaseProfiler::PhaseProfiler(MetricsRegistry* registry, int rank,
+                             std::shared_ptr<Clock> clock)
+    : rank_(rank), clock_(std::move(clock)) {
+  if (registry == nullptr) {
+    owned_ = std::make_unique<MetricsRegistry>(1);
+    registry_ = owned_.get();
+    rank_ = 0;
+  } else {
+    SLIPFLOW_REQUIRE(rank >= 0 && rank < registry->ranks());
+    registry_ = registry;
+  }
+  if (!clock_) clock_ = std::make_shared<WallClock>();
+}
+
+}  // namespace slipflow::obs

@@ -1,0 +1,97 @@
+#pragma once
+/// \file profiler.hpp
+/// PhaseProfiler — the per-rank front door to the observability layer.
+///
+/// A profiler binds (registry shard, rank, clock). Runners time their
+/// stages through it instead of through util::Stopwatch, which is what
+/// makes the time source injectable: the thread-parallel runner defaults
+/// to WallClock, tests inject CountingClock for determinism, and the
+/// virtual cluster records spans directly in virtual seconds.
+
+#include <memory>
+#include <string>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+
+namespace slipflow::obs {
+
+class PhaseProfiler {
+ public:
+  /// \param registry  sink for spans/counters; when null the profiler
+  ///                  owns a private single-shard registry (rank 0), so
+  ///                  instrumented code never needs a null check.
+  /// \param rank      shard index in `registry`
+  /// \param clock     time source; null means a fresh WallClock.
+  PhaseProfiler(MetricsRegistry* registry, int rank,
+                std::shared_ptr<Clock> clock = nullptr);
+
+  Clock& clock() { return *clock_; }
+  double now() { return clock_->now(); }
+
+  MetricsRegistry& registry() { return *registry_; }
+  const MetricsRegistry& registry() const { return *registry_; }
+  int rank() const { return rank_; }
+
+  /// The LBM phase subsequent spans/counters belong to (1-based).
+  void begin_phase(long long phase) { phase_ = phase; }
+  long long phase() const { return phase_; }
+
+  /// Record a span measured externally (begin/end from this->now()).
+  void record_span(std::string_view name, double begin, double end) {
+    registry_->record_span(rank_, name, begin, end, phase_);
+  }
+
+  void add(std::string_view name, double delta) {
+    registry_->add(rank_, name, delta);
+  }
+  void set(std::string_view name, double value) {
+    registry_->set(rank_, name, value);
+  }
+  void observe(std::string_view name, double value) {
+    registry_->observe(rank_, name, value);
+  }
+
+  /// RAII stage timer. `stop()` records the span and returns its
+  /// duration; the destructor records it if stop() was never called.
+  class Stage {
+   public:
+    Stage(PhaseProfiler& prof, std::string name)
+        : prof_(&prof), name_(std::move(name)), begin_(prof.now()) {}
+    Stage(const Stage&) = delete;
+    Stage& operator=(const Stage&) = delete;
+    Stage(Stage&& o) noexcept
+        : prof_(o.prof_), name_(std::move(o.name_)), begin_(o.begin_) {
+      o.prof_ = nullptr;
+    }
+    Stage& operator=(Stage&&) = delete;
+
+    double stop() {
+      PhaseProfiler* p = prof_;
+      prof_ = nullptr;
+      const double end = p->now();
+      p->record_span(name_, begin_, end);
+      return end - begin_;
+    }
+
+    ~Stage() {
+      if (prof_ != nullptr) stop();
+    }
+
+   private:
+    PhaseProfiler* prof_;
+    std::string name_;
+    double begin_;
+  };
+
+  Stage stage(std::string name) { return Stage(*this, std::move(name)); }
+
+ private:
+  std::unique_ptr<MetricsRegistry> owned_;  // when constructed with null
+  MetricsRegistry* registry_;
+  int rank_;
+  std::shared_ptr<Clock> clock_;
+  long long phase_ = -1;
+};
+
+}  // namespace slipflow::obs

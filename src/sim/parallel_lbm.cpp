@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <thread>
+#include <utility>
 
 #include "lbm/checkpoint.hpp"
 #include "lbm/stepper.hpp"
@@ -99,6 +100,12 @@ ParallelLbm::ParallelLbm(RunnerConfig cfg, transport::Communicator& comm)
   policy_ = balance::RemapPolicy::create(cfg_.policy);
   balancer_ = std::make_unique<balance::NodeBalancer>(cfg_.balance, policy_);
   stats_.rank = comm_.rank();
+  if (cfg_.metrics != nullptr)
+    SLIPFLOW_REQUIRE_MSG(cfg_.metrics->ranks() >= comm_.size(),
+                         "metrics registry needs one shard per rank");
+  prof_ = std::make_unique<obs::PhaseProfiler>(
+      cfg_.metrics, cfg_.metrics != nullptr ? comm_.rank() : 0,
+      cfg_.clock_factory ? cfg_.clock_factory(comm_.rank()) : nullptr);
   if (!cfg_.slowdown.empty()) {
     SLIPFLOW_REQUIRE(cfg_.slowdown.size() ==
                      static_cast<std::size_t>(comm_.size()));
@@ -125,53 +132,80 @@ void ParallelLbm::initialize_uniform() {
 
 void ParallelLbm::run(int phases) {
   SLIPFLOW_REQUIRE_MSG(initialized_, "call initialize() before run()");
+  // All timing below reads the injected clock through the profiler —
+  // never util::Stopwatch — so the compute times that feed the load
+  // predictor come from the same (possibly deterministic) source the
+  // trace records.
   for (int p = 1; p <= phases; ++p) {
-    util::Stopwatch phase_watch;
+    prof_->begin_phase(++phases_done_);
+    const double phase_begin = prof_->now();
 
     // --- compute: collide --- (Figure 2 line 4)
-    util::Stopwatch w;
     lbm::collide(*slab_);
-    double compute = w.seconds();
+    double t = prof_->now();
+    prof_->record_span("collide", phase_begin, t);
+    double compute = t - phase_begin;
 
     // --- communication: f halos --- (line 8)
-    w.reset();
+    double t0 = t;
     halo_->exchange_f(*slab_);
-    stats_.comm_seconds += w.seconds();
+    t = prof_->now();
+    prof_->record_span("halo_f", t0, t);
+    prof_->add("halo_bytes", 16.0 * static_cast<double>(slab_->f_halo_doubles()));
+    stats_.comm_seconds += t - t0;
+    prof_->add("time/comm", t - t0);
 
     // --- compute: stream + bounce-back + densities --- (lines 5,10,11)
-    w.reset();
+    t0 = t;
     lbm::stream(*slab_);
     lbm::compute_density(*slab_);
-    compute += w.seconds();
+    t = prof_->now();
+    prof_->record_span("stream_density", t0, t);
+    compute += t - t0;
 
     // --- communication: density halos --- (line 14)
-    w.reset();
+    t0 = t;
     halo_->exchange_density(*slab_);
-    stats_.comm_seconds += w.seconds();
+    t = prof_->now();
+    prof_->record_span("halo_density", t0, t);
+    prof_->add("halo_bytes",
+               16.0 * static_cast<double>(slab_->density_halo_doubles()));
+    stats_.comm_seconds += t - t0;
+    prof_->add("time/comm", t - t0);
 
     // --- compute: forces + velocity --- (lines 16,17)
-    w.reset();
+    t0 = t;
     lbm::compute_forces_and_velocity(*slab_);
-    compute += w.seconds();
+    t = prof_->now();
+    prof_->record_span("force_velocity", t0, t);
+    compute += t - t0;
 
     if (slowdown_factor_ > 0.0) {
       // emulate a node that keeps only 1/(1+s) of its CPU
       const double extra = slowdown_factor_ * compute;
       std::this_thread::sleep_for(std::chrono::duration<double>(extra));
+      prof_->record_span("slowdown", t, t + extra);
       compute += extra;
     }
     stats_.compute_seconds += compute;
+    prof_->add("time/compute", compute);
+    prof_->observe("phase_seconds", prof_->now() - phase_begin);
     balancer_->record_phase(std::max(compute, 1e-9), slab_->owned_cells());
 
     // --- lattice point remapping --- (lines 20-32)
     if (cfg_.policy != "none" && p % cfg_.remap_interval == 0) {
-      w.reset();
+      const double r0 = prof_->now();
       remap_step();
-      stats_.remap_seconds += w.seconds();
+      const double r1 = prof_->now();
+      prof_->record_span("remap", r0, r1);
+      prof_->add("time/remap", r1 - r0);
+      prof_->add("remap_invocations", 1.0);
+      stats_.remap_seconds += r1 - r0;
     }
-    (void)phase_watch;
   }
   stats_.planes = slab_->nx_local();
+  prof_->set("planes_end", static_cast<double>(slab_->nx_local()));
+  prof_->set("phases_done", static_cast<double>(phases_done_));
 }
 
 void ParallelLbm::remap_step() {
@@ -189,6 +223,8 @@ void ParallelLbm::send_planes(int peer, lbm::Side side, long long k) {
   if (k > 0) {
     slab_->detach_planes(side, k, std::span<double>(msg).subspan(1));
     stats_.planes_sent += k;
+    prof_->add("planes_sent", static_cast<double>(k));
+    prof_->add("migration_bytes", 8.0 * static_cast<double>(msg.size()));
   }
   (void)pc;
   comm_.send(peer, kTagPlanes, msg);
@@ -202,6 +238,7 @@ void ParallelLbm::recv_planes(int peer, lbm::Side side) {
     slab_->attach_planes(side, k,
                          std::span<const double>(msg).subspan(1));
     stats_.planes_received += k;
+    prof_->add("planes_received", static_cast<double>(k));
   }
 }
 

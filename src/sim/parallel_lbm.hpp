@@ -20,8 +20,8 @@
 #include "balance/remapper.hpp"
 #include "lbm/observables.hpp"
 #include "lbm/simulation.hpp"
+#include "obs/profiler.hpp"
 #include "transport/communicator.hpp"
-#include "util/stopwatch.hpp"
 
 namespace slipflow::sim {
 
@@ -44,6 +44,15 @@ struct RunnerConfig {
   /// after each phase's compute, emulating a node at share
   /// 1/(1+slowdown[r]). Empty = no injection.
   std::vector<double> slowdown;
+  /// Shared metrics sink (one shard per rank, ranks() >= comm.size());
+  /// null = each runner keeps a private registry, readable through
+  /// profiler(). See DESIGN.md "Observability" for the metric schema.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Per-rank time source for ALL stage timing, including the compute
+  /// times fed to the load predictors. Null = wall clock; tests inject
+  /// obs::CountingClock so CI scheduling noise never reaches the
+  /// balancer.
+  obs::ClockFactory clock_factory;
 };
 
 /// Per-rank cost/ownership summary after a run.
@@ -76,6 +85,10 @@ class ParallelLbm {
   const lbm::Slab& slab() const { return *slab_; }
   lbm::Slab& slab() { return *slab_; }
   const RankStats& stats() const { return stats_; }
+
+  /// This rank's profiler (stage spans, counters, injected clock).
+  obs::PhaseProfiler& profiler() { return *prof_; }
+  const obs::PhaseProfiler& profiler() const { return *prof_; }
 
   /// Gather the per-rank stats on every rank (allgather).
   std::vector<RankStats> gather_stats();
@@ -124,8 +137,10 @@ class ParallelLbm {
   std::unique_ptr<RingExchanger> halo_;
   std::shared_ptr<const balance::RemapPolicy> policy_;
   std::unique_ptr<balance::NodeBalancer> balancer_;
+  std::unique_ptr<obs::PhaseProfiler> prof_;
   RankStats stats_;
   double slowdown_factor_ = 0.0;
+  long long phases_done_ = 0;
   bool initialized_ = false;
 };
 

@@ -1,0 +1,57 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON emission helpers shared by the observability exporters
+/// and the bench summary writer. Emission only — nothing here parses —
+/// and deterministic: the same values always serialize to the same
+/// bytes, which the observability determinism tests rely on.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace slipflow::util {
+
+/// RFC 8259 string escaping (quotes included in the result).
+inline std::string json_string(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Shortest round-trippable decimal form; non-finite values become null
+/// (JSON has no NaN/Inf).
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // prefer the shorter %.15g form when it round-trips exactly
+  char shorter[32];
+  std::snprintf(shorter, sizeof(shorter), "%.15g", v);
+  double back = 0.0;
+  std::sscanf(shorter, "%lf", &back);
+  return back == v ? std::string(shorter) : std::string(buf);
+}
+
+inline std::string json_number(long long v) { return std::to_string(v); }
+
+}  // namespace slipflow::util

@@ -28,6 +28,11 @@ class Table {
   /// Number of data rows so far.
   std::size_t rows() const { return rows_.size(); }
 
+  /// Structured access for serializers (bench summary JSON).
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& column_names() const { return header_; }
+  const std::vector<std::vector<Cell>>& data() const { return rows_; }
+
   /// Render as an aligned text table.
   void print(std::ostream& os) const;
 

@@ -1,0 +1,189 @@
+// Unit tests for the observability layer: MetricsRegistry semantics
+// (counters / gauges / histograms / spans), the PhaseProfiler front-end
+// with injectable clocks, and the CSV / summary-JSON / Chrome-trace
+// exporters.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+
+using namespace slipflow;
+using namespace slipflow::obs;
+
+TEST(MetricsRegistry, CountersAccumulatePerRankAndTotal) {
+  MetricsRegistry reg(3);
+  reg.add(0, "planes_sent", 2.0);
+  reg.add(0, "planes_sent", 3.0);
+  reg.add(2, "planes_sent", 4.0);
+  EXPECT_DOUBLE_EQ(reg.counter(0, "planes_sent"), 5.0);
+  EXPECT_DOUBLE_EQ(reg.counter(1, "planes_sent"), 0.0);  // absent = 0
+  EXPECT_DOUBLE_EQ(reg.counter(2, "planes_sent"), 4.0);
+  EXPECT_DOUBLE_EQ(reg.counter_total("planes_sent"), 9.0);
+}
+
+TEST(MetricsRegistry, GaugesKeepLastValue) {
+  MetricsRegistry reg(1);
+  EXPECT_FALSE(reg.has_gauge(0, "planes_end"));
+  reg.set(0, "planes_end", 7.0);
+  reg.set(0, "planes_end", 5.0);
+  EXPECT_TRUE(reg.has_gauge(0, "planes_end"));
+  EXPECT_DOUBLE_EQ(reg.gauge(0, "planes_end"), 5.0);
+  EXPECT_THROW((void)reg.gauge(0, "missing"), contract_error);
+}
+
+TEST(MetricsRegistry, HistogramSummarizesSamples) {
+  MetricsRegistry reg(1);
+  for (double v : {3.0, 1.0, 2.0}) reg.observe(0, "phase_seconds", v);
+  const HistogramSummary h = reg.histogram(0, "phase_seconds");
+  EXPECT_EQ(h.count, 3);
+  EXPECT_DOUBLE_EQ(h.sum, 6.0);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 3.0);
+  EXPECT_EQ(reg.histogram(0, "absent").count, 0);
+}
+
+TEST(MetricsRegistry, SpansFeedTimeCounters) {
+  MetricsRegistry reg(2);
+  reg.record_span(1, "collide", 1.0, 1.5, /*phase=*/3);
+  reg.record_span(1, "collide", 2.0, 2.25, /*phase=*/4);
+  EXPECT_DOUBLE_EQ(reg.counter(1, "time/collide"), 0.75);
+  ASSERT_EQ(reg.spans(1).size(), 2u);
+  EXPECT_EQ(reg.spans(1)[0].name, "collide");
+  EXPECT_EQ(reg.spans(1)[0].phase, 3);
+  EXPECT_TRUE(reg.spans(0).empty());
+}
+
+TEST(MetricsRegistry, SpanDroppingModeKeepsCountersOnly) {
+  MetricsRegistry reg(1, /*keep_spans=*/false);
+  reg.record_span(0, "remap", 0.0, 2.0);
+  EXPECT_DOUBLE_EQ(reg.counter(0, "time/remap"), 2.0);
+  EXPECT_TRUE(reg.spans(0).empty());
+}
+
+TEST(MetricsRegistry, InvalidUseIsRejected) {
+  EXPECT_THROW(MetricsRegistry(0), contract_error);
+  MetricsRegistry reg(2);
+  EXPECT_THROW(reg.add(2, "x", 1.0), contract_error);
+  EXPECT_THROW(reg.add(-1, "x", 1.0), contract_error);
+  EXPECT_THROW(reg.record_span(0, "backwards", 2.0, 1.0), contract_error);
+}
+
+TEST(MetricsRegistry, NameEnumerationIsSortedUnion) {
+  MetricsRegistry reg(2);
+  reg.add(1, "zeta", 1.0);
+  reg.add(0, "alpha", 1.0);
+  reg.add(1, "alpha", 1.0);
+  const auto names = reg.counter_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(MetricsRegistry, CsvIsStableAndComplete) {
+  MetricsRegistry reg(2);
+  reg.add(0, "halo_bytes", 1024.0);
+  reg.set(1, "planes_end", 9.0);
+  reg.observe(0, "phase_seconds", 0.5);
+  std::ostringstream a, b;
+  reg.write_csv(a);
+  reg.write_csv(b);
+  EXPECT_EQ(a.str(), b.str());  // re-export is byte-stable
+  EXPECT_NE(a.str().find("kind,rank,name,value,count,min,max"),
+            std::string::npos);
+  EXPECT_NE(a.str().find("counter,0,halo_bytes,1024"), std::string::npos);
+  EXPECT_NE(a.str().find("gauge,1,planes_end,9"), std::string::npos);
+  EXPECT_NE(a.str().find("histogram,0,phase_seconds,0.5,1,0.5,0.5"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, SummaryJsonHasTotalsAndPerRank) {
+  MetricsRegistry reg(2);
+  reg.add(0, "planes_sent", 2.0);
+  reg.add(1, "planes_sent", 3.0);
+  std::ostringstream os;
+  reg.write_summary_json(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"ranks\": 2"), std::string::npos);
+  EXPECT_NE(s.find("\"planes_sent\": 5"), std::string::npos);
+  EXPECT_NE(s.find("{\"rank\": 1, \"planes_sent\": 3}"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmitsCompleteEventsInMicroseconds) {
+  MetricsRegistry reg(2);
+  reg.record_span(1, "halo_f", 0.001, 0.003, /*phase=*/2);
+  std::ostringstream os;
+  write_chrome_trace(reg, os, "unit-test");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"unit-test\""), std::string::npos);
+  // 0.001 s -> 1000 us, duration 2000 us, on tid 1 with the phase arg
+  EXPECT_NE(s.find("\"ph\":\"X\",\"pid\":0,\"tid\":1,\"name\":\"halo_f\""),
+            std::string::npos);
+  EXPECT_NE(s.find("\"ts\":1000,\"dur\":2000"), std::string::npos);
+  EXPECT_NE(s.find("\"args\":{\"phase\":2}"), std::string::npos);
+}
+
+TEST(Clocks, ManualClockIsExternallyDriven) {
+  ManualClock c(5.0);
+  EXPECT_DOUBLE_EQ(c.now(), 5.0);
+  c.advance(1.5);
+  EXPECT_DOUBLE_EQ(c.now(), 6.5);
+  c.set(2.0);
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+}
+
+TEST(Clocks, CountingClockAdvancesPerRead) {
+  CountingClock c(0.25);
+  EXPECT_DOUBLE_EQ(c.now(), 0.25);
+  EXPECT_DOUBLE_EQ(c.now(), 0.5);
+  EXPECT_DOUBLE_EQ(c.now(), 0.75);
+}
+
+TEST(Clocks, WallClockIsMonotonic) {
+  WallClock c;
+  const double a = c.now();
+  const double b = c.now();
+  EXPECT_GE(b, a);
+}
+
+TEST(PhaseProfiler, StageRecordsSpanThroughInjectedClock) {
+  MetricsRegistry reg(2);
+  PhaseProfiler prof(&reg, 1, std::make_shared<CountingClock>(1.0));
+  prof.begin_phase(7);
+  {
+    auto s = prof.stage("collide");  // begin = 1.0
+    EXPECT_DOUBLE_EQ(s.stop(), 1.0);  // end = 2.0
+  }
+  ASSERT_EQ(reg.spans(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(reg.spans(1)[0].begin, 1.0);
+  EXPECT_DOUBLE_EQ(reg.spans(1)[0].end, 2.0);
+  EXPECT_EQ(reg.spans(1)[0].phase, 7);
+  EXPECT_DOUBLE_EQ(reg.counter(1, "time/collide"), 1.0);
+}
+
+TEST(PhaseProfiler, StageDestructorRecordsWhenNotStopped) {
+  MetricsRegistry reg(1);
+  PhaseProfiler prof(&reg, 0, std::make_shared<CountingClock>(1.0));
+  { auto s = prof.stage("remap"); }
+  ASSERT_EQ(reg.spans(0).size(), 1u);
+  EXPECT_EQ(reg.spans(0)[0].name, "remap");
+}
+
+TEST(PhaseProfiler, NullRegistryOwnsPrivateShard) {
+  PhaseProfiler prof(nullptr, 42, std::make_shared<CountingClock>(1.0));
+  prof.add("planes_sent", 3.0);
+  prof.record_span("collide", 0.0, 1.0);
+  EXPECT_EQ(prof.rank(), 0);  // remapped into the private registry
+  EXPECT_EQ(prof.registry().ranks(), 1);
+  EXPECT_DOUBLE_EQ(prof.registry().counter(0, "planes_sent"), 3.0);
+  EXPECT_EQ(prof.registry().spans(0).size(), 1u);
+}
+
+TEST(PhaseProfiler, RankMustFitRegistry) {
+  MetricsRegistry reg(2);
+  EXPECT_THROW(PhaseProfiler(&reg, 2), contract_error);
+}
