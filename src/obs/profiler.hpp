@@ -67,6 +67,7 @@ class PhaseProfiler {
     Stage& operator=(Stage&&) = delete;
 
     double stop() {
+      if (prof_ == nullptr) return 0.0;  // second stop() / moved-from
       PhaseProfiler* p = prof_;
       prof_ = nullptr;
       const double end = p->now();

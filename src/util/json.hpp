@@ -5,6 +5,7 @@
 /// and deterministic: the same values always serialize to the same
 /// bytes, which the observability determinism tests rely on.
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -39,17 +40,13 @@ inline std::string json_string(std::string_view s) {
 }
 
 /// Shortest round-trippable decimal form; non-finite values become null
-/// (JSON has no NaN/Inf).
+/// (JSON has no NaN/Inf). std::to_chars is locale-independent, so the
+/// output stays valid JSON even if linked code calls setlocale().
 inline std::string json_number(double v) {
   if (!std::isfinite(v)) return "null";
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  // prefer the shorter %.15g form when it round-trips exactly
-  char shorter[32];
-  std::snprintf(shorter, sizeof(shorter), "%.15g", v);
-  double back = 0.0;
-  std::sscanf(shorter, "%lf", &back);
-  return back == v ? std::string(shorter) : std::string(buf);
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
 }
 
 inline std::string json_number(long long v) { return std::to_string(v); }

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <utility>
 
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
@@ -163,6 +164,17 @@ TEST(PhaseProfiler, StageRecordsSpanThroughInjectedClock) {
   EXPECT_DOUBLE_EQ(reg.spans(1)[0].end, 2.0);
   EXPECT_EQ(reg.spans(1)[0].phase, 7);
   EXPECT_DOUBLE_EQ(reg.counter(1, "time/collide"), 1.0);
+}
+
+TEST(PhaseProfiler, StageSecondStopIsNoOp) {
+  MetricsRegistry reg(1);
+  PhaseProfiler prof(&reg, 0, std::make_shared<CountingClock>(1.0));
+  auto s = prof.stage("collide");
+  EXPECT_DOUBLE_EQ(s.stop(), 1.0);
+  EXPECT_DOUBLE_EQ(s.stop(), 0.0);  // already stopped: no span, no UB
+  auto moved = std::move(s);
+  EXPECT_DOUBLE_EQ(moved.stop(), 0.0);  // moved-from source was spent
+  ASSERT_EQ(reg.spans(0).size(), 1u);
 }
 
 TEST(PhaseProfiler, StageDestructorRecordsWhenNotStopped) {

@@ -14,6 +14,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "cluster/scenario.hpp"
 #include "obs/clock.hpp"
@@ -114,6 +115,58 @@ TEST(ObsDeterminism, ThreadRunnerWithInjectedClocksIsDeterministic) {
   const Export b = run_thread_ranks_once();
   EXPECT_EQ(a.csv, b.csv);
   EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(ObsDeterminism, ClusterRemapCounterMatchesNodeProfile) {
+  // Regression: record_span() already folds each span into its
+  // "time/<name>" counter, so the runner must not add the duration a
+  // second time — the registry has to agree exactly with the
+  // NodeProfile accumulators fig09 used to report.
+  cluster::ClusterConfig cfg = cluster::paper::base_config(/*nodes=*/6);
+  cfg.planes_total = 60;
+  cluster::ClusterSim sim(cfg, balance::RemapPolicy::create("filtered"));
+  cluster::add_fixed_slow_nodes(sim, {2});
+  obs::MetricsRegistry reg(cfg.nodes);
+  sim.attach_metrics(&reg);
+  const auto res = sim.run(80);
+  for (int i = 0; i < cfg.nodes; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    EXPECT_DOUBLE_EQ(reg.counter(i, "time/remap"), res.profile[ui].remap);
+    EXPECT_DOUBLE_EQ(reg.counter(i, "time/compute"), res.profile[ui].compute);
+    EXPECT_DOUBLE_EQ(reg.counter(i, "time/comm"), res.profile[ui].comm);
+  }
+}
+
+TEST(ObsDeterminism, ThreadRunnerRemapCounterMatchesRankStats) {
+  const int ranks = 3;
+  sim::RunnerConfig cfg;
+  cfg.global = lbm::Extents{18, 6, 4};
+  cfg.fluid = lbm::FluidParams::microchannel_defaults();
+  cfg.policy = "filtered";
+  cfg.remap_interval = 4;
+  cfg.balance.window = 3;
+  cfg.balance.min_transfer_points = 24;
+  cfg.clock_factory = [](int rank) -> std::shared_ptr<obs::Clock> {
+    return std::make_shared<obs::CountingClock>(rank == 1 ? 4e-3 : 1e-3);
+  };
+  obs::MetricsRegistry reg(ranks);
+  cfg.metrics = &reg;
+
+  std::vector<sim::RankStats> stats(static_cast<std::size_t>(ranks));
+  transport::run_ranks(ranks, [&](transport::Communicator& comm) {
+    sim::ParallelLbm run(cfg, comm);
+    run.initialize_uniform();
+    run.run(40);
+    stats[static_cast<std::size_t>(comm.rank())] = run.stats();
+  });
+  double remap_total = 0.0;
+  for (int r = 0; r < ranks; ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    EXPECT_DOUBLE_EQ(reg.counter(r, "time/remap"), stats[ur].remap_seconds);
+    EXPECT_DOUBLE_EQ(reg.counter(r, "time/comm"), stats[ur].comm_seconds);
+    remap_total += stats[ur].remap_seconds;
+  }
+  EXPECT_GT(remap_total, 0.0);  // the remap path actually ran
 }
 
 TEST(ObsDeterminism, InjectedSlowClockDrivesDeterministicMigration) {
