@@ -2,15 +2,32 @@
 /// lattice-site updates, for the single- and two-component systems.
 /// These numbers also calibrate the virtual cluster's per-point cost
 /// split across the three compute stages (ClusterConfig::stage_fraction).
+///
+/// The legacy reference kernels and the StreamingPlan fast path run side
+/// by side; the full-phase pair on an interior-dominated channel is the
+/// repo's MLUPS claim for the plan refactor. Beyond the standard
+/// google-benchmark flags the harness takes:
+///
+///   --json=<path>            summary json (default
+///                            BENCH_micro_lbm_kernels.json, none = off)
+///   --require-speedup=<x>    exit nonzero unless plan MLUPS >= x times
+///                            legacy MLUPS on the full-phase pair (the CI
+///                            perf guard; 0 = report only)
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "lbm/kernels.hpp"
 #include "lbm/simulation.hpp"
 #include "lbm/stepper.hpp"
 
+using namespace slipflow;
 using namespace slipflow::lbm;
 
 namespace {
@@ -27,6 +44,10 @@ struct Box {
     prime(*slab, halo);
   }
 };
+
+/// The MLUPS-claim box: wide enough in y/z that ~88% of cells are
+/// plan-interior, the regime the fused kernel is built for.
+const Extents kPerfBox{32, 48, 24};
 
 void set_cells_rate(benchmark::State& state, const Slab& slab) {
   state.SetItemsProcessed(state.iterations() * slab.owned_cells());
@@ -58,6 +79,18 @@ void BM_Stream_TwoComponent(benchmark::State& state) {
 }
 BENCHMARK(BM_Stream_TwoComponent);
 
+void BM_FusedCollideStream_TwoComponent(benchmark::State& state) {
+  // the plan path's replacement for collide + stream: boundary planes are
+  // collided and exchanged once (as the stepper does each phase), then
+  // the fused kernel runs collide+stream over the whole slab
+  Box b(FluidParams::microchannel_defaults());
+  collide_boundary_planes(*b.slab);
+  b.halo.exchange_f(*b.slab);
+  for (auto _ : state) fused_collide_stream(*b.slab);
+  set_cells_rate(state, *b.slab);
+}
+BENCHMARK(BM_FusedCollideStream_TwoComponent);
+
 void BM_Density_TwoComponent(benchmark::State& state) {
   Box b(FluidParams::microchannel_defaults());
   for (auto _ : state) compute_density(*b.slab);
@@ -72,12 +105,29 @@ void BM_ForcesVelocity_TwoComponent(benchmark::State& state) {
 }
 BENCHMARK(BM_ForcesVelocity_TwoComponent);
 
-void BM_FullPhase_TwoComponent(benchmark::State& state) {
+void BM_ForcesVelocityPlan_TwoComponent(benchmark::State& state) {
   Box b(FluidParams::microchannel_defaults());
-  for (auto _ : state) step_phase(*b.slab, b.halo);
+  for (auto _ : state) compute_forces_and_velocity_plan(*b.slab);
   set_cells_rate(state, *b.slab);
 }
-BENCHMARK(BM_FullPhase_TwoComponent);
+BENCHMARK(BM_ForcesVelocityPlan_TwoComponent);
+
+void BM_FullPhase_TwoComponent_Legacy(benchmark::State& state) {
+  Box b(FluidParams::microchannel_defaults(), kPerfBox);
+  for (auto _ : state)
+    step_phase(*b.slab, b.halo, KernelPath::legacy);
+  set_cells_rate(state, *b.slab);
+}
+BENCHMARK(BM_FullPhase_TwoComponent_Legacy);
+
+void BM_FullPhase_TwoComponent_Plan(benchmark::State& state) {
+  Box b(FluidParams::microchannel_defaults(), kPerfBox);
+  b.slab->plan();  // build outside the timed region, as the runners do
+  for (auto _ : state)
+    step_phase(*b.slab, b.halo, KernelPath::plan);
+  set_cells_rate(state, *b.slab);
+}
+BENCHMARK(BM_FullPhase_TwoComponent_Plan);
 
 void BM_FHaloPackUnpack(benchmark::State& state) {
   Box b(FluidParams::microchannel_defaults());
@@ -105,6 +155,93 @@ void BM_PlaneMigration(benchmark::State& state) {
 }
 BENCHMARK(BM_PlaneMigration);
 
+void BM_PlanBuild(benchmark::State& state) {
+  // the cost a migration adds outside the remap span: one O(owned cells)
+  // classification pass over the perf box
+  const auto geom = std::make_shared<const ChannelGeometry>(kPerfBox);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(StreamingPlan(*geom, 0, kPerfBox.nx));
+  state.SetItemsProcessed(state.iterations() * kPerfBox.cells());
+}
+BENCHMARK(BM_PlanBuild);
+
+/// Console reporter that also captures each run's MLUPS counter, so the
+/// summary json and the CI speedup guard read real measured numbers.
+class MlupsReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const auto& run : report) {
+      const auto it = run.counters.find("MLUPS");
+      if (it != run.counters.end())
+        mlups_[run.benchmark_name()] = it->second.value;
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  double get(const std::string& name) const {
+    const auto it = mlups_.find(name);
+    return it == mlups_.end() ? 0.0 : it->second;
+  }
+  const std::map<std::string, double>& all() const { return mlups_; }
+
+ private:
+  std::map<std::string, double> mlups_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // split our flags from google-benchmark's
+  std::string json_flag;
+  double require_speedup = 0.0;
+  std::vector<char*> bargs{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--json=", 0) == 0)
+      json_flag = a;
+    else if (a.rfind("--require-speedup=", 0) == 0)
+      require_speedup = std::stod(a.substr(18));
+    else
+      bargs.push_back(argv[i]);
+  }
+  int bargc = static_cast<int>(bargs.size());
+  benchmark::Initialize(&bargc, bargs.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, bargs.data())) return 1;
+
+  MlupsReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  const double legacy = reporter.get("BM_FullPhase_TwoComponent_Legacy");
+  const double plan = reporter.get("BM_FullPhase_TwoComponent_Plan");
+  const double speedup = legacy > 0.0 ? plan / legacy : 0.0;
+
+  const char* summary_argv[] = {argv[0], json_flag.c_str()};
+  const auto opts = util::Options::parse(json_flag.empty() ? 1 : 2,
+                                         summary_argv);
+  bench::Summary summary("micro_lbm_kernels");
+  for (const auto& [name, v] : reporter.all()) summary.add("mlups/" + name, v);
+  summary.add("mlups_legacy", legacy);
+  summary.add("mlups_plan", plan);
+  summary.add("plan_speedup", speedup);
+  summary.add("require_speedup", require_speedup);
+  summary.write(opts);
+
+  if (require_speedup > 0.0) {
+    if (legacy <= 0.0 || plan <= 0.0) {
+      std::fprintf(stderr,
+                   "perf guard: full-phase pair missing from the run "
+                   "(check --benchmark_filter)\n");
+      return 1;
+    }
+    std::printf("perf guard: plan %.1f MLUPS vs legacy %.1f MLUPS "
+                "(%.2fx, required %.2fx)\n",
+                plan, legacy, speedup, require_speedup);
+    if (speedup < require_speedup) {
+      std::fprintf(stderr, "perf guard FAILED: %.2fx < %.2fx\n", speedup,
+                   require_speedup);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -167,28 +167,31 @@ void compute_forces_and_velocity(Slab& slab) {
 
         // First moments and the common velocity u' (Section 2.1):
         // u' = sum_c (m_c / tau_c) p_c  /  sum_c (m_c / tau_c) n_c.
+        // The per-component momentum p_c is kept for the rho_u sum below.
         Vec3 unum{};
         double uden = 0.0;
+        Vec3 p[8];
+        SLIPFLOW_REQUIRE(nc <= 8);
         for (std::size_t c = 0; c < nc; ++c) {
           const auto& cp = prm.components[c];
           const DistField& f = slab.f(c);
-          Vec3 p{};
+          Vec3 pc{};
           for (int d = 1; d < kQ; ++d) {
             const double fd = f.at(d, cell);
-            p.x += fd * kCx[d];
-            p.y += fd * kCy[d];
-            p.z += fd * kCz[d];
+            pc.x += fd * kCx[d];
+            pc.y += fd * kCy[d];
+            pc.z += fd * kCz[d];
           }
+          p[c] = pc;
           const double w = cp.molecular_mass / cp.tau;
-          unum += w * p;
+          unum += w * pc;
           uden += w * slab.density(c)[cell];
         }
         const Vec3 uprime = uden > kTinyDensity ? (1.0 / uden) * unum : Vec3{};
 
         // Shan–Chen neighbor sums: grad[c'] = sum_d w_d psi_c'(x+c_d) c_d,
         // with psi = n and psi = 0 inside walls/solids.
-        Vec3 grad[8];  // supports up to 8 components; enforced below
-        SLIPFLOW_REQUIRE(nc <= 8);
+        Vec3 grad[8];  // supports up to 8 components; enforced above
         for (std::size_t c2 = 0; c2 < nc; ++c2) {
           Vec3 g{};
           const ScalarField& n2 = slab.density(c2);
@@ -248,15 +251,7 @@ void compute_forces_and_velocity(Slab& slab) {
 
           rho_tot += rho;
           force_sum += F;
-          const DistField& f = slab.f(c);
-          Vec3 p{};
-          for (int d = 1; d < kQ; ++d) {
-            const double fd = f.at(d, cell);
-            p.x += fd * kCx[d];
-            p.y += fd * kCy[d];
-            p.z += fd * kCz[d];
-          }
-          rho_u += cp.molecular_mass * p;
+          rho_u += cp.molecular_mass * p[c];
         }
 
         // mixture observables: rho u = sum_c m_c p_c + (1/2) sum_c F_c

@@ -51,4 +51,29 @@ void compute_forces_and_velocity(Slab& slab);
 /// molecular mass) — a conserved quantity used by tests.
 double owned_mass(const Slab& slab, std::size_t component);
 
+// --- plan-based kernel path (kernels_plan.cpp) -------------------------
+// The same phase, restructured around the slab's StreamingPlan so the hot
+// loops are branch-free. The plan path produces bit-identical populations
+// to the legacy kernels above (tests/test_plan_kernels.cpp pins this).
+
+/// Collide only the two boundary-adjacent owned planes into f_post — the
+/// minimum the f-halo exchange needs before fused_collide_stream re-does
+/// collision and streaming in one fused pass.
+void collide_boundary_planes(Slab& slab);
+
+/// Fused collide + stream: collide every owned fluid cell once (BGK or
+/// MRT) and push its 19 outputs directly to their streaming destinations
+/// — interior cells over contiguous plan runs with no conditionals,
+/// boundary cells through precomputed link tables (bounce-back and
+/// moving-wall corrections resolved at plan build). Finishes by pulling
+/// the exchanged halo populations and swapping f_post into f. Requires
+/// collide_boundary_planes + the f-halo exchange to have run.
+void fused_collide_stream(Slab& slab);
+
+/// Plan-based force/velocity kernel: identical physics and bit-identical
+/// results to compute_forces_and_velocity, but the per-component psi
+/// field is cached once per step (no per-neighbor exp) and the wall /
+/// periodic / obstacle masks come from the plan's neighbor tables.
+void compute_forces_and_velocity_plan(Slab& slab);
+
 }  // namespace slipflow::lbm

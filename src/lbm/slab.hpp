@@ -22,6 +22,7 @@
 #include "lbm/field.hpp"
 #include "lbm/geometry.hpp"
 #include "lbm/params.hpp"
+#include "lbm/plan.hpp"
 
 namespace slipflow::lbm {
 
@@ -87,6 +88,23 @@ class Slab {
   const Vec3& wall_accel_unit(index_t y, index_t z) const {
     return wall_unit_[static_cast<std::size_t>(y * store_.nz + z)];
   }
+  /// Same lookup by flat in-plane index yz = y * nz + z.
+  const Vec3& wall_accel_unit(index_t yz) const {
+    return wall_unit_[static_cast<std::size_t>(yz)];
+  }
+
+  /// The slab's streaming/force plan, built lazily on first use and
+  /// dropped automatically when plane migration rebuilds the slab (the
+  /// move-assign in detach/attach replaces the cached pointer). Runners
+  /// that want the rebuild timed call plan() inside their own span.
+  const StreamingPlan& plan() const {
+    if (plan_ == nullptr)
+      plan_ = std::make_unique<StreamingPlan>(*geom_, x_begin_, nx_local_);
+    return *plan_;
+  }
+  /// Whether the plan is currently built (used by runners to decide if a
+  /// rebuild span is worth recording).
+  bool has_plan() const { return plan_ != nullptr; }
 
   // -- initialization ---------------------------------------------------
   /// Set per-component number density from a function of *global* cell
@@ -169,6 +187,7 @@ class Slab {
   VectorField u_macro_;
   ScalarField rho_total_;
   std::vector<Vec3> wall_unit_;
+  mutable std::unique_ptr<StreamingPlan> plan_;
 };
 
 }  // namespace slipflow::lbm

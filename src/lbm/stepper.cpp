@@ -29,7 +29,18 @@ void prime(Slab& slab, HaloExchanger& halo) {
   compute_forces_and_velocity(slab);
 }
 
-void step_phase(Slab& slab, HaloExchanger& halo) {
+void step_phase(Slab& slab, HaloExchanger& halo, KernelPath path) {
+  if (path == KernelPath::plan) {
+    // Only the two exchange-facing planes need pre-colliding; the fused
+    // kernel re-collides them on the fly while pushing.
+    collide_boundary_planes(slab);
+    halo.exchange_f(slab);
+    fused_collide_stream(slab);
+    compute_density(slab);
+    halo.exchange_density(slab);
+    compute_forces_and_velocity_plan(slab);
+    return;
+  }
   collide(slab);
   halo.exchange_f(slab);
   stream(slab);

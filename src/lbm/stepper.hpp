@@ -37,6 +37,12 @@ class PeriodicSelfExchanger final : public HaloExchanger {
   std::vector<double> buf_;
 };
 
+/// Which kernel implementations step_phase drives. Both produce
+/// bit-identical states; `plan` is the branch-free fused path over the
+/// slab's StreamingPlan and is the default everywhere, `legacy` keeps the
+/// original per-cell-branching kernels as reference and fallback.
+enum class KernelPath { legacy, plan };
+
 /// Run the post-initialization priming pass: densities are already set by
 /// Slab::initialize, so exchange them and compute forces/velocities so the
 /// first collide() has valid inputs.
@@ -44,6 +50,7 @@ void prime(Slab& slab, HaloExchanger& halo);
 
 /// Execute one full LBM phase (collide, f-exchange, stream + bounce-back,
 /// density, density-exchange, forces/velocity).
-void step_phase(Slab& slab, HaloExchanger& halo);
+void step_phase(Slab& slab, HaloExchanger& halo,
+                KernelPath path = KernelPath::plan);
 
 }  // namespace slipflow::lbm
