@@ -7,15 +7,127 @@
 /// at five, while no-remapping collapses.
 ///
 ///   usage: fig08_speedup_efficiency [--phases=20000] [--csv=path]
+///
+/// --transport=socket switches to a companion measurement on this
+/// machine: the same ParallelLbm phase loop timed over in-process
+/// ThreadComm vs real forked slipflow_worker processes on Unix-domain
+/// sockets, so the thread-vs-process transport overhead is tracked
+/// across PRs (written to BENCH_fig08_socket.json).
+///
+///   usage: fig08_speedup_efficiency --transport=socket [--phases=150]
+///            [--max-ranks=4] [--nx=48] [--ny=16] [--nz=8]
+
+#include <chrono>
+#include <cstdlib>
 
 #include "bench_common.hpp"
 #include "cluster/scenario.hpp"
+#include "sim/parallel_lbm.hpp"
+#include "transport/launcher.hpp"
+#include "transport/thread_comm.hpp"
 
 using namespace slipflow;
 using namespace slipflow::cluster;
 
+namespace {
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The in-process reference: identical problem + policy to the worker
+/// flags below, timed end to end including thread spawn/join so the
+/// comparison against fork+exec+rendezvous is symmetric.
+double time_over_threads(const lbm::Extents& global, int ranks, int phases) {
+  sim::RunnerConfig cfg;
+  cfg.global = global;
+  cfg.fluid = lbm::FluidParams::microchannel_defaults();
+  cfg.policy = "filtered";
+  cfg.remap_interval = 5;
+  cfg.balance.window = 3;
+  cfg.balance.min_transfer_points = 24;
+  const double t0 = wall_seconds();
+  transport::run_ranks(ranks, [&](transport::Communicator& comm) {
+    sim::ParallelLbm run(cfg, comm);
+    run.initialize_uniform();
+    run.run(phases);
+  });
+  return wall_seconds() - t0;
+}
+
+/// The same run as real processes through the launcher; elapsed time
+/// includes fork+exec, the socket rendezvous and teardown.
+double time_over_processes(const lbm::Extents& global, int ranks,
+                           int phases) {
+  transport::LaunchConfig lc;
+  lc.ranks = ranks;
+  lc.worker_command = {SLIPFLOW_WORKER_EXE,
+                       "--nx=" + std::to_string(global.nx),
+                       "--ny=" + std::to_string(global.ny),
+                       "--nz=" + std::to_string(global.nz),
+                       "--phases=" + std::to_string(phases),
+                       "--policy=filtered",
+                       "--remap-interval=5",
+                       "--window=3",
+                       "--min-transfer=24",
+                       "--recv-timeout=30"};
+  lc.wall_clock_timeout = 300.0;
+  const transport::LaunchResult res = transport::launch_workers(lc);
+  if (!res.ok) {
+    std::cerr << "socket run failed: " << res.diagnostic << "\n";
+    std::exit(1);
+  }
+  return res.elapsed_seconds;
+}
+
+int run_socket_mode(const util::Options& opts) {
+  const int phases = static_cast<int>(opts.get("phases", 150LL));
+  const int max_ranks = static_cast<int>(opts.get("max-ranks", 4LL));
+  const lbm::Extents global{opts.get("nx", 48LL), opts.get("ny", 16LL),
+                            opts.get("nz", 8LL)};
+  bench::check_options(opts);
+
+  util::Table table("Figure 8 companion — thread vs real-process transport "
+                    "overhead (" + std::to_string(phases) + " phases, " +
+                    std::to_string(global.nx) + "x" +
+                    std::to_string(global.ny) + "x" +
+                    std::to_string(global.nz) + ")");
+  table.header({"ranks", "thread_seconds", "process_seconds",
+                "process_over_thread"});
+
+  bench::Summary summary("fig08_socket");
+  summary.add("phases", static_cast<long long>(phases));
+  summary.add("nx", static_cast<long long>(global.nx));
+  for (int p = 1; p <= max_ranks; p *= 2) {
+    const double threads = time_over_threads(global, p, phases);
+    const double procs = time_over_processes(global, p, phases);
+    table.row({static_cast<long long>(p), threads, procs,
+               threads > 0.0 ? procs / threads : 0.0});
+  }
+  bench::emit(table, opts);
+  summary.add_table("overhead", table);
+  summary.write(opts);
+
+  std::cout << "process runs carry fork+exec, Unix-socket rendezvous and "
+               "frame encode/decode on top of the shared-memory thread "
+               "backend; physics is byte-identical (see test_multiprocess).\n";
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const auto opts = util::Options::parse(argc, argv);
+  const std::string transport = opts.get("transport", std::string("virtual"));
+  if (transport == "socket") return run_socket_mode(opts);
+  if (transport != "virtual") {
+    std::cerr << "unknown --transport=" << transport
+              << " (expected virtual|socket)\n";
+    return 2;
+  }
+
   const int phases = static_cast<int>(opts.get("phases", 20000LL));
   const std::string csv = opts.get("csv", std::string{});
   (void)csv;

@@ -147,6 +147,7 @@ void ParallelLbm::run(int phases) {
   ensure_plan();
   for (int p = 1; p <= phases; ++p) {
     prof_->begin_phase(++phases_done_);
+    comm_.note_progress(phases_done_);
     const double phase_begin = prof_->now();
 
     // --- compute: collide --- (Figure 2 line 4; the plan path only
@@ -474,6 +475,16 @@ std::vector<double> ParallelLbm::gather_density_profile_y(
 
 double ParallelLbm::global_mass(std::size_t component) {
   return comm_.allreduce_sum(lbm::owned_mass(*slab_, component));
+}
+
+std::vector<double> ParallelLbm::global_masses() {
+  // One vector collective instead of num_components() scalar reductions;
+  // the rank-ordered fold keeps each component's sum byte-identical to
+  // the scalar global_mass() result.
+  std::vector<double> mine(slab_->num_components());
+  for (std::size_t c = 0; c < mine.size(); ++c)
+    mine[c] = lbm::owned_mass(*slab_, c);
+  return comm_.allreduce_sum(std::span<const double>(mine));
 }
 
 void ParallelLbm::save_checkpoint(const std::string& path, long long phase) {

@@ -108,6 +108,10 @@ class ParallelLbm {
   /// Total mass of one component across all ranks (identical everywhere).
   double global_mass(std::size_t component);
 
+  /// Total mass of every component in one vector collective; element c
+  /// is byte-identical to global_mass(c).
+  std::vector<double> global_masses();
+
   /// Collective checkpoint: rank 0 creates the file, then every rank
   /// writes its own plane range. Because the format is per-plane, the
   /// checkpoint can later be restored on a *different* number of ranks.

@@ -1,0 +1,164 @@
+#include "sim/worker.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "lbm/kernels.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "transport/socket_comm.hpp"
+#include "util/options.hpp"
+
+namespace slipflow::sim {
+
+namespace {
+
+/// Shortest exact representation of a double: printf hexfloat.
+std::string hexd(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string collect_observables(ParallelLbm& run,
+                                transport::Communicator& comm,
+                                const lbm::Extents& global) {
+  const std::vector<double> masses = run.global_masses();
+  const std::vector<RankStats> stats = run.gather_stats();
+
+  std::ostringstream os;
+  if (comm.rank() == 0) {
+    for (std::size_t c = 0; c < masses.size(); ++c)
+      os << "mass " << c << " " << hexd(masses[c]) << "\n";
+    for (const RankStats& s : stats)
+      os << "rank " << s.rank << " planes " << s.planes << " sent "
+         << s.planes_sent << " received " << s.planes_received << "\n";
+  }
+  // Mid-channel y-profiles of every global plane: covers every rank's
+  // slab wherever the remapper left the boundaries.
+  const lbm::index_t z = global.nz / 2;
+  for (lbm::index_t gx = 0; gx < global.nx; ++gx) {
+    const std::vector<double> ux = run.gather_velocity_profile_y(gx, z);
+    const std::vector<double> rho = run.gather_density_profile_y(0, gx, z);
+    if (comm.rank() == 0) {
+      for (std::size_t j = 0; j < ux.size(); ++j)
+        os << "ux " << gx << " " << j << " " << hexd(ux[j]) << "\n";
+      for (std::size_t j = 0; j < rho.size(); ++j)
+        os << "rho0 " << gx << " " << j << " " << hexd(rho[j]) << "\n";
+    }
+  }
+  return os.str();
+}
+
+int worker_main(int argc, const char* const* argv) {
+  const util::Options opts = util::Options::parse(argc, argv);
+
+  // --- transport ---
+  const int rank = static_cast<int>(opts.get("rank", 0LL));
+  const int nranks = static_cast<int>(opts.get("ranks", 1LL));
+  transport::SocketCommConfig sc;
+  sc.rank = rank;
+  sc.nranks = nranks;
+  sc.dir = opts.get("socket-dir", std::string{});
+  sc.connect_timeout = opts.get("connect-timeout", 10.0);
+  sc.comm.recv_timeout = opts.get("recv-timeout", 30.0);
+  sc.heartbeat_path = opts.get("heartbeat-sock", std::string{});
+  sc.heartbeat_interval = opts.get("heartbeat-interval", 0.25);
+
+  // --- fault injection ---
+  sc.fault.kill_at_phase = opts.get("fault-kill-phase", -1LL);
+  sc.fault.stop_at_phase = opts.get("fault-stop-phase", -1LL);
+  sc.fault.drop_dest = static_cast<int>(opts.get("fault-drop-dest", -2LL));
+  sc.fault.drop_tag = static_cast<int>(opts.get("fault-drop-tag", -1LL));
+  sc.fault.drop_count = static_cast<int>(opts.get("fault-drop-count", 1LL));
+  sc.fault.send_delay = opts.get("fault-send-delay", 0.0);
+  sc.fault.throttle_bytes_per_sec = opts.get("fault-throttle-bps", 0.0);
+
+  // --- problem ---
+  RunnerConfig cfg;
+  cfg.global = lbm::Extents{opts.get("nx", 16LL), opts.get("ny", 6LL),
+                            opts.get("nz", 4LL)};
+  cfg.fluid = lbm::FluidParams::microchannel_defaults();
+  cfg.policy = opts.get("policy", std::string("filtered"));
+  cfg.remap_interval = static_cast<int>(opts.get("remap-interval", 5LL));
+  cfg.balance.window = static_cast<int>(opts.get("window", 3LL));
+  cfg.balance.min_transfer_points = opts.get("min-transfer", 24LL);
+  const int phases = static_cast<int>(opts.get("phases", 40LL));
+  const int slow_rank = static_cast<int>(opts.get("slow-rank", -1LL));
+  const double slow_factor = opts.get("slow-factor", 0.0);
+  if (slow_rank >= 0 && slow_factor > 0.0) {
+    cfg.slowdown.assign(static_cast<std::size_t>(nranks), 0.0);
+    if (slow_rank < nranks)
+      cfg.slowdown[static_cast<std::size_t>(slow_rank)] = slow_factor;
+  }
+
+  // --- determinism: injected clocks (see obs/clock.hpp) ---
+  // --clock=counting makes "measured" times a pure function of the call
+  // sequence, so the remapping decisions — and hence the observables —
+  // are identical across backends and runs.
+  const std::string clock = opts.get("clock", std::string("wall"));
+  const double clock_step = opts.get("clock-step", 1e-3);
+  const int slow_clock_rank = static_cast<int>(opts.get("slow-clock-rank", -1LL));
+  const double slow_clock_factor = opts.get("slow-clock-factor", 4.0);
+  if (clock == "counting") {
+    cfg.clock_factory = [=](int r) -> std::shared_ptr<obs::Clock> {
+      const double step =
+          r == slow_clock_rank ? clock_step * slow_clock_factor : clock_step;
+      return std::make_shared<obs::CountingClock>(step);
+    };
+  } else if (clock != "wall") {
+    std::fprintf(stderr, "rank %d: unknown --clock=%s\n", rank, clock.c_str());
+    return 2;
+  }
+
+  // --- output ---
+  const std::string observables_out =
+      opts.get("observables-out", std::string{});
+  const std::string metrics_out = opts.get("metrics-out", std::string{});
+
+  const std::vector<std::string> unused = opts.unused_keys();
+  if (!unused.empty()) {
+    for (const std::string& k : unused)
+      std::fprintf(stderr, "rank %d: unknown option --%s\n", rank, k.c_str());
+    return 2;
+  }
+
+  try {
+    obs::MetricsRegistry reg(nranks);  // only shard `rank` is written here
+    sc.metrics = &reg;
+    cfg.metrics = &reg;
+    transport::SocketComm comm(sc);
+
+    ParallelLbm run(cfg, comm);
+    run.initialize_uniform();
+    run.run(phases);
+    const std::string observables = collect_observables(run, comm, cfg.global);
+    comm.publish_stats();
+
+    if (!observables_out.empty() && comm.rank() == 0) {
+      std::ofstream f(observables_out, std::ios::binary | std::ios::trunc);
+      if (!f) throw transport::comm_error("cannot write " + observables_out);
+      f << observables;
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream f(metrics_out, std::ios::binary | std::ios::trunc);
+      if (!f) throw transport::comm_error("cannot write " + metrics_out);
+      reg.write_csv(f);
+    }
+    // Final barrier so no rank tears down its endpoint while a peer is
+    // still mid-collective.
+    comm.barrier();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rank %d: %s\n", rank, e.what());
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace slipflow::sim

@@ -2,25 +2,36 @@
 /// \file communicator.hpp
 /// MPI-flavored message passing abstraction.
 ///
-/// The paper's code is plain MPI on a Linux cluster. This machine has no
-/// MPI and no cluster, so the library programs against this narrow
-/// interface instead; ThreadComm (threads-as-ranks in one process, see
-/// thread_comm.hpp) provides real concurrent message passing with the
-/// same semantics the parallel LBM needs: point-to-point tagged messages
-/// of doubles, barrier, allgather and sum/max reductions.
+/// The paper's code is plain MPI on a Linux cluster. The library programs
+/// against this narrow interface instead; three backends implement it
+/// with the same semantics the parallel LBM needs — point-to-point tagged
+/// messages of doubles, barrier, allgather and sum/max reductions:
+///
+///   SerialComm  — one rank, collectives are identities (serial_comm.hpp)
+///   ThreadComm  — threads-as-ranks in one process (thread_comm.hpp)
+///   SocketComm  — real processes over Unix-domain sockets with
+///                 length-prefixed frames (socket_comm.hpp)
 ///
 /// Sends are buffered (they never block on the receiver), so the
 /// neighbor-exchange pattern "send left, send right, recv left, recv
 /// right" is deadlock-free exactly as with MPI_Bsend/eager-mode MPI.
+/// Collectives are deterministic: allgather concatenates in rank order
+/// and reductions fold the gathered values in rank order, so results are
+/// byte-identical across all backends.
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "util/require.hpp"
 
 namespace slipflow::transport {
 
 /// Message tags used by the parallel LBM runner; user code may use any
-/// other values.
+/// other non-negative values. Negative tags are reserved for transport
+/// internals (SocketComm's collective trees).
 enum Tag : int {
   kTagFHalo = 1,
   kTagDensityHalo = 2,
@@ -29,6 +40,28 @@ enum Tag : int {
   kTagMigrationData = 5,
   kTagGather = 6,
   kTagUser = 100,
+};
+
+/// A transport-layer failure: a peer died, a connection broke, a frame
+/// was malformed. Distinct from contract_error (caller bugs).
+class comm_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A bounded wait expired — the blocked operation names the pending
+/// (src, tag) so a silent hang becomes a diagnosable error.
+class comm_timeout : public comm_error {
+ public:
+  using comm_error::comm_error;
+};
+
+/// Options shared by every backend.
+struct CommOptions {
+  /// Upper bound on any blocking recv, in seconds; <= 0 waits forever.
+  /// On expiry the recv throws comm_timeout naming (rank, src, tag)
+  /// instead of hanging the run (or ctest) indefinitely.
+  double recv_timeout = 0.0;
 };
 
 /// One rank's endpoint. Implementations must be usable concurrently from
@@ -56,6 +89,27 @@ class Communicator {
   /// Global sum / max of one double, identical on every rank.
   virtual double allreduce_sum(double x) = 0;
   virtual double allreduce_max(double x) = 0;
+
+  /// Element-wise global sum of an equal-size vector, identical on every
+  /// rank. One collective instead of xs.size() scalar reductions. The
+  /// default folds an allgather in rank order, which keeps the result
+  /// byte-identical to summing scalar allreduces rank by rank.
+  virtual std::vector<double> allreduce_sum(std::span<const double> xs) {
+    const std::size_t m = xs.size();
+    const std::vector<double> all = allgather(xs);
+    SLIPFLOW_REQUIRE_MSG(all.size() == m * static_cast<std::size_t>(size()),
+                         "allreduce_sum: ragged contributions");
+    std::vector<double> out(m, 0.0);
+    for (int r = 0; r < size(); ++r)
+      for (std::size_t i = 0; i < m; ++i)
+        out[i] += all[static_cast<std::size_t>(r) * m + i];
+    return out;
+  }
+
+  /// Progress note for external monitors: the application's current
+  /// phase. SocketComm forwards it on its heartbeat channel (and applies
+  /// phase-triggered fault injection); other backends ignore it.
+  virtual void note_progress(long long phase) { (void)phase; }
 };
 
 }  // namespace slipflow::transport

@@ -1,0 +1,358 @@
+#include "transport/launcher.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "transport/frame.hpp"
+#include "util/require.hpp"
+
+namespace slipflow::transport {
+
+namespace {
+
+double mono_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw comm_error(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw_errno("fcntl(O_NONBLOCK)");
+}
+
+/// One accepted (but not yet rank-identified) or identified heartbeat
+/// connection. Heartbeat frames are parsed with the shared frame codec.
+struct HbConn {
+  int fd = -1;
+  int rank = -1;  ///< -1 until the first beat identifies the sender
+  std::vector<std::byte> buf;
+};
+
+struct Worker {
+  pid_t pid = -1;
+  int err_fd = -1;
+  bool done = false;
+  int status = 0;
+  std::string err;
+  double last_beat = -1.0;
+  long long last_phase = -1;
+};
+
+}  // namespace
+
+LaunchResult launch_workers(const LaunchConfig& cfg) {
+  SLIPFLOW_REQUIRE(cfg.ranks >= 1);
+  SLIPFLOW_REQUIRE_MSG(!cfg.worker_command.empty(),
+                       "launch_workers: empty worker command");
+  namespace fs = std::filesystem;
+
+  std::string dir = cfg.dir;
+  bool own_dir = false;
+  if (dir.empty()) {
+    char tmpl[] = "/tmp/slipflow.XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    if (made == nullptr) throw_errno("mkdtemp");
+    dir = made;
+    own_dir = true;
+  }
+  const std::string monitor_path = dir + "/monitor.sock";
+
+  // Monitor listener first, so even the earliest worker can connect.
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listener < 0) throw_errno("socket(monitor)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  SLIPFLOW_REQUIRE_MSG(monitor_path.size() + 1 <= sizeof(addr.sun_path),
+                       "monitor socket path too long: " << monitor_path);
+  std::memcpy(addr.sun_path, monitor_path.c_str(), monitor_path.size() + 1);
+  ::unlink(monitor_path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listener, cfg.ranks + 2) < 0) {
+    const int err = errno;
+    ::close(listener);
+    errno = err;
+    throw_errno("bind/listen(" + monitor_path + ")");
+  }
+  set_nonblocking(listener);
+
+  const double t0 = mono_now();
+  std::vector<Worker> workers(static_cast<std::size_t>(cfg.ranks));
+  std::vector<HbConn> conns;
+
+  std::fflush(stdout);
+  std::fflush(stderr);
+  for (int r = 0; r < cfg.ranks; ++r) {
+    std::vector<std::string> argv_s = cfg.worker_command;
+    argv_s.push_back("--rank=" + std::to_string(r));
+    argv_s.push_back("--ranks=" + std::to_string(cfg.ranks));
+    argv_s.push_back("--socket-dir=" + dir);
+    argv_s.push_back("--heartbeat-sock=" + monitor_path);
+    argv_s.push_back("--heartbeat-interval=" +
+                     std::to_string(cfg.heartbeat_interval));
+    if (const auto it = cfg.extra_args.find(r); it != cfg.extra_args.end())
+      for (const std::string& a : it->second) argv_s.push_back(a);
+
+    int pipefd[2];
+    if (::pipe(pipefd) < 0) throw_errno("pipe");
+    const pid_t pid = ::fork();
+    if (pid < 0) throw_errno("fork");
+    if (pid == 0) {
+      ::close(pipefd[0]);
+      ::dup2(pipefd[1], 2);
+      ::close(pipefd[1]);
+      std::vector<char*> argv;
+      argv.reserve(argv_s.size() + 1);
+      for (std::string& s : argv_s) argv.push_back(s.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      std::fprintf(stderr, "rank %d: exec %s failed: %s\n", r, argv[0],
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    ::close(pipefd[1]);
+    set_nonblocking(pipefd[0]);
+    workers[static_cast<std::size_t>(r)].pid = pid;
+    workers[static_cast<std::size_t>(r)].err_fd = pipefd[0];
+  }
+
+  LaunchResult result;
+  result.last_phase.assign(static_cast<std::size_t>(cfg.ranks), -1);
+
+  auto fail = [&](int rank, const std::string& why) {
+    if (!result.ok && !result.diagnostic.empty()) return;  // keep first
+    result.failed_rank = rank;
+    result.diagnostic = why;
+  };
+
+  auto drain_stderr = [&] {
+    char buf[4096];
+    for (Worker& w : workers) {
+      if (w.err_fd < 0) continue;
+      for (;;) {
+        const ssize_t n = ::read(w.err_fd, buf, sizeof(buf));
+        if (n > 0) {
+          w.err.append(buf, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n == 0) {
+          ::close(w.err_fd);
+          w.err_fd = -1;
+        }
+        break;
+      }
+    }
+  };
+
+  auto pump_heartbeats = [&] {
+    for (;;) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd < 0) break;
+      set_nonblocking(fd);
+      conns.push_back(HbConn{fd, -1, {}});
+    }
+    char buf[4096];
+    for (HbConn& c : conns) {
+      if (c.fd < 0) continue;
+      for (;;) {
+        const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+        if (n > 0) {
+          c.buf.insert(c.buf.end(), reinterpret_cast<std::byte*>(buf),
+                       reinterpret_cast<std::byte*>(buf) + n);
+          continue;
+        }
+        if (n == 0) {
+          ::close(c.fd);
+          c.fd = -1;
+        }
+        break;
+      }
+      std::size_t off = 0;
+      while (c.buf.size() - off >= kFrameHeaderBytes) {
+        FrameHeader h;
+        try {
+          h = decode_frame_header(
+              std::span<const std::byte>(c.buf).subspan(off));
+        } catch (const comm_error&) {
+          ::close(c.fd);
+          c.fd = -1;
+          break;
+        }
+        const std::size_t need = kFrameHeaderBytes +
+                                 static_cast<std::size_t>(h.count) *
+                                     sizeof(double);
+        if (c.buf.size() - off < need) break;
+        if (h.kind == FrameKind::kHeartbeat && h.src >= 0 &&
+            h.src < cfg.ranks) {
+          c.rank = h.src;
+          Worker& w = workers[static_cast<std::size_t>(h.src)];
+          w.last_beat = mono_now();
+          if (h.count >= 1) {
+            double phase = 0.0;
+            std::memcpy(&phase, c.buf.data() + off + kFrameHeaderBytes,
+                        sizeof(double));
+            w.last_phase = static_cast<long long>(phase);
+          }
+        }
+        off += need;
+      }
+      if (off > 0)
+        c.buf.erase(c.buf.begin(),
+                    c.buf.begin() + static_cast<std::ptrdiff_t>(off));
+    }
+  };
+
+  auto kill_all = [&] {
+    for (Worker& w : workers) {
+      if (w.done) continue;
+      ::kill(w.pid, SIGCONT);  // a SIGSTOPped worker ignores SIGKILL queueing
+      ::kill(w.pid, SIGKILL);
+    }
+    for (Worker& w : workers) {
+      if (w.done) continue;
+      ::waitpid(w.pid, &w.status, 0);
+      w.done = true;
+    }
+  };
+
+  const double deadline = t0 + cfg.wall_clock_timeout;
+  int running = cfg.ranks;
+  bool failed = false;
+  while (running > 0 && !failed) {
+    pump_heartbeats();
+    drain_stderr();
+
+    // Reap exits. When several workers die in one tick, blame the one
+    // that was signalled — the injected fault — not the peers that then
+    // failed with transport errors.
+    int first_signaled = -1, first_nonzero = -1;
+    for (int r = 0; r < cfg.ranks; ++r) {
+      Worker& w = workers[static_cast<std::size_t>(r)];
+      if (w.done) continue;
+      int status = 0;
+      const pid_t got = ::waitpid(w.pid, &status, WNOHANG);
+      if (got != w.pid) continue;
+      w.done = true;
+      w.status = status;
+      --running;
+      if (WIFSIGNALED(status) && first_signaled < 0) first_signaled = r;
+      if (WIFEXITED(status) && WEXITSTATUS(status) != 0 && first_nonzero < 0)
+        first_nonzero = r;
+    }
+    if (first_signaled >= 0) {
+      const Worker& w = workers[static_cast<std::size_t>(first_signaled)];
+      fail(first_signaled,
+           "rank " + std::to_string(first_signaled) + " killed by signal " +
+               std::to_string(WTERMSIG(w.status)) +
+               " (last reported phase " + std::to_string(w.last_phase) + ")");
+      failed = true;
+    } else if (first_nonzero >= 0) {
+      const Worker& w = workers[static_cast<std::size_t>(first_nonzero)];
+      fail(first_nonzero,
+           "rank " + std::to_string(first_nonzero) + " exited with code " +
+               std::to_string(WEXITSTATUS(w.status)) +
+               " (last reported phase " + std::to_string(w.last_phase) + ")");
+      failed = true;
+    }
+    if (failed) break;
+
+    if (cfg.heartbeat_grace > 0.0) {
+      const double now = mono_now();
+      for (int r = 0; r < cfg.ranks; ++r) {
+        const Worker& w = workers[static_cast<std::size_t>(r)];
+        if (w.done) continue;
+        const double since =
+            w.last_beat >= 0.0 ? now - w.last_beat : now - t0;
+        if (since > cfg.heartbeat_grace) {
+          fail(r, "rank " + std::to_string(r) + " heartbeat silent for " +
+                      std::to_string(since) + "s (last reported phase " +
+                      std::to_string(w.last_phase) + ")");
+          failed = true;
+          break;
+        }
+      }
+    }
+    if (failed) break;
+
+    if (mono_now() >= deadline) {
+      std::ostringstream os;
+      os << "wall-clock timeout after " << cfg.wall_clock_timeout
+         << "s; per-rank last phases:";
+      for (int r = 0; r < cfg.ranks; ++r)
+        os << " rank" << r << "="
+           << workers[static_cast<std::size_t>(r)].last_phase;
+      fail(-1, os.str());
+      failed = true;
+      break;
+    }
+    if (running > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  if (failed) kill_all();
+  pump_heartbeats();
+  drain_stderr();
+  for (Worker& w : workers)
+    if (w.err_fd >= 0) ::close(w.err_fd);
+  for (HbConn& c : conns)
+    if (c.fd >= 0) ::close(c.fd);
+  ::close(listener);
+  ::unlink(monitor_path.c_str());
+  if (own_dir) {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+
+  result.elapsed_seconds = mono_now() - t0;
+  for (int r = 0; r < cfg.ranks; ++r)
+    result.last_phase[static_cast<std::size_t>(r)] =
+        workers[static_cast<std::size_t>(r)].last_phase;
+  if (!failed) {
+    // The loop above can exit with running == 0 but a straggler having
+    // exited nonzero in the very last reap — recheck all statuses.
+    for (int r = 0; r < cfg.ranks; ++r) {
+      const Worker& w = workers[static_cast<std::size_t>(r)];
+      if (WIFSIGNALED(w.status)) {
+        fail(r, "rank " + std::to_string(r) + " killed by signal " +
+                    std::to_string(WTERMSIG(w.status)));
+        failed = true;
+      } else if (WIFEXITED(w.status) && WEXITSTATUS(w.status) != 0) {
+        fail(r, "rank " + std::to_string(r) + " exited with code " +
+                    std::to_string(WEXITSTATUS(w.status)));
+        failed = true;
+      }
+    }
+  }
+  result.ok = !failed;
+  if (failed) {
+    std::ostringstream os;
+    os << result.diagnostic;
+    for (int r = 0; r < cfg.ranks; ++r) {
+      const std::string& e = workers[static_cast<std::size_t>(r)].err;
+      if (!e.empty()) os << "\n--- rank " << r << " stderr ---\n" << e;
+    }
+    result.diagnostic = os.str();
+  }
+  return result;
+}
+
+}  // namespace slipflow::transport

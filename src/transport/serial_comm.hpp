@@ -40,6 +40,7 @@ class SerialComm final : public Communicator {
     return {mine.begin(), mine.end()};
   }
 
+  using Communicator::allreduce_sum;  // the vector overload
   double allreduce_sum(double x) override { return x; }
   double allreduce_max(double x) override { return x; }
 

@@ -1,0 +1,829 @@
+#include "transport/socket_comm.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "transport/frame.hpp"
+
+namespace slipflow::transport {
+
+namespace {
+
+double mono_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw comm_error(what + ": " + std::strerror(errno));
+}
+
+std::string rank_sock_path(const std::string& dir, int rank) {
+  return dir + "/rank" + std::to_string(rank) + ".sock";
+}
+
+std::string ctl_sock_path(const std::string& dir) { return dir + "/ctl.sock"; }
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  SLIPFLOW_REQUIRE_MSG(path.size() + 1 <= sizeof(addr.sun_path),
+                       "unix socket path too long: " << path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+int make_listener(const std::string& path, int backlog) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket(listener " + path + ")");
+  ::unlink(path.c_str());
+  const sockaddr_un addr = make_addr(path);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(fd, backlog) < 0) {
+    ::close(fd);
+    throw_errno("listen(" + path + ")");
+  }
+  return fd;
+}
+
+/// Dial `path`, retrying "not there yet" failures until the deadline —
+/// this is what makes worker startup order irrelevant.
+int connect_retry(const std::string& path, double deadline,
+                  const std::string& who) {
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket(" + path + ")");
+    const sockaddr_un addr = make_addr(path);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      return fd;
+    const int err = errno;
+    ::close(fd);
+    if (err != ECONNREFUSED && err != ENOENT && err != EAGAIN) {
+      errno = err;
+      throw_errno("connect(" + path + ")");
+    }
+    if (mono_now() >= deadline)
+      throw comm_timeout(who + ": connect to " + path + " timed out");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+/// Wait (bounded) until fd is ready for `events`; throws comm_timeout
+/// naming `what` on expiry.
+void wait_ready(int fd, short events, double deadline,
+                const std::string& what) {
+  for (;;) {
+    const double remaining = deadline - mono_now();
+    if (remaining <= 0.0) throw comm_timeout(what + ": timed out");
+    pollfd p{fd, events, 0};
+    const int rc = ::poll(&p, 1, static_cast<int>(remaining * 1000) + 1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll(" + what + ")");
+    }
+    if (rc > 0) return;
+  }
+}
+
+void write_exact(int fd, const std::byte* data, std::size_t n,
+                 double deadline, const std::string& what) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w =
+        ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_ready(fd, POLLOUT, deadline, what);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    throw_errno("send(" + what + ")");
+  }
+}
+
+void read_exact(int fd, std::byte* data, std::size_t n, double deadline,
+                const std::string& what) {
+  std::size_t off = 0;
+  while (off < n) {
+    wait_ready(fd, POLLIN, deadline, what);
+    const ssize_t r = ::read(fd, data + off, n - off);
+    if (r > 0) {
+      off += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) throw comm_error(what + ": connection closed during setup");
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    throw_errno("read(" + what + ")");
+  }
+}
+
+/// Blocking send of a payload-free or small frame during setup.
+void send_frame_blocking(int fd, const FrameHeader& h,
+                         std::span<const double> payload, double deadline,
+                         const std::string& what) {
+  const auto hdr = encode_frame_header(h);
+  write_exact(fd, hdr.data(), hdr.size(), deadline, what);
+  if (!payload.empty())
+    write_exact(fd, reinterpret_cast<const std::byte*>(payload.data()),
+                payload.size() * sizeof(double), deadline, what);
+}
+
+FrameHeader recv_frame_blocking(int fd, std::vector<double>& payload,
+                                double deadline, const std::string& what) {
+  std::array<std::byte, kFrameHeaderBytes> hdr;
+  read_exact(fd, hdr.data(), hdr.size(), deadline, what);
+  const FrameHeader h = decode_frame_header(hdr);
+  payload.resize(h.count);
+  if (h.count > 0)
+    read_exact(fd, reinterpret_cast<std::byte*>(payload.data()),
+               h.count * sizeof(double), deadline, what);
+  return h;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw_errno("fcntl(O_NONBLOCK)");
+}
+
+}  // namespace
+
+SocketComm::SocketComm(SocketCommConfig cfg) : cfg_(std::move(cfg)) {
+  SLIPFLOW_REQUIRE(cfg_.nranks >= 1);
+  SLIPFLOW_REQUIRE(cfg_.rank >= 0 && cfg_.rank < cfg_.nranks);
+  SLIPFLOW_REQUIRE_MSG(cfg_.nranks == 1 || !cfg_.dir.empty(),
+                       "SocketComm needs a socket directory for > 1 rank");
+  drop_remaining_ = cfg_.fault.drop_dest == -2 ? 0 : cfg_.fault.drop_count;
+  throttle_last_ = mono_now();
+  // 0.1 s of burst allowance; see FaultInjection::throttle_bytes_per_sec.
+  throttle_tokens_ = 0.1 * cfg_.fault.throttle_bytes_per_sec;
+  peers_.resize(static_cast<std::size_t>(cfg_.nranks));
+  // Heartbeats start before the rendezvous so a rank stuck in connection
+  // setup is already visible to the launcher's monitor.
+  if (!cfg_.heartbeat_path.empty()) start_heartbeat();
+  if (cfg_.nranks > 1) setup_mesh();
+}
+
+void SocketComm::setup_mesh() {
+  const std::string who = "rank " + std::to_string(cfg_.rank);
+  const double deadline = mono_now() + cfg_.connect_timeout;
+  const std::string my_path = rank_sock_path(cfg_.dir, cfg_.rank);
+  const int listener = make_listener(my_path, cfg_.nranks + 2);
+
+  try {
+    // --- rank-0 rendezvous: everyone's listener exists before anyone
+    // dials the mesh, so mesh connects can never race a missing peer.
+    if (cfg_.rank == 0) {
+      const int ctl = make_listener(ctl_sock_path(cfg_.dir), cfg_.nranks + 2);
+      std::vector<int> conns;
+      try {
+        std::vector<double> none;
+        for (int i = 0; i < cfg_.nranks - 1; ++i) {
+          wait_ready(ctl, POLLIN, deadline, who + ": rendezvous accept");
+          const int c = ::accept(ctl, nullptr, nullptr);
+          if (c < 0) throw_errno("accept(rendezvous)");
+          conns.push_back(c);
+          const FrameHeader h =
+              recv_frame_blocking(c, none, deadline, who + ": rendezvous hello");
+          if (h.kind != FrameKind::kHello)
+            throw comm_error(who + ": rendezvous expected hello frame");
+        }
+        FrameHeader release;
+        release.kind = FrameKind::kRelease;
+        release.src = 0;
+        for (const int c : conns)
+          send_frame_blocking(c, release, {}, deadline,
+                              who + ": rendezvous release");
+      } catch (...) {
+        for (const int c : conns) ::close(c);
+        ::close(ctl);
+        ::unlink(ctl_sock_path(cfg_.dir).c_str());
+        throw;
+      }
+      for (const int c : conns) ::close(c);
+      ::close(ctl);
+      ::unlink(ctl_sock_path(cfg_.dir).c_str());
+    } else {
+      const int ctl =
+          connect_retry(ctl_sock_path(cfg_.dir), deadline, who + ": rendezvous");
+      try {
+        FrameHeader hello;
+        hello.kind = FrameKind::kHello;
+        hello.src = cfg_.rank;
+        send_frame_blocking(ctl, hello, {}, deadline, who + ": hello");
+        std::vector<double> none;
+        const FrameHeader h = recv_frame_blocking(
+            ctl, none, deadline, who + ": waiting for rendezvous release");
+        if (h.kind != FrameKind::kRelease)
+          throw comm_error(who + ": rendezvous expected release frame");
+      } catch (...) {
+        ::close(ctl);
+        throw;
+      }
+      ::close(ctl);
+    }
+
+    // --- mesh: dial every lower rank, accept every higher rank.
+    for (int s = cfg_.rank - 1; s >= 0; --s) {
+      const int fd = connect_retry(rank_sock_path(cfg_.dir, s), deadline,
+                                   who + ": mesh dial");
+      FrameHeader hello;
+      hello.kind = FrameKind::kHello;
+      hello.src = cfg_.rank;
+      send_frame_blocking(fd, hello, {}, deadline, who + ": mesh hello");
+      peers_[static_cast<std::size_t>(s)].fd = fd;
+    }
+    for (int i = cfg_.rank + 1; i < cfg_.nranks; ++i) {
+      wait_ready(listener, POLLIN, deadline, who + ": mesh accept");
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd < 0) throw_errno("accept(mesh)");
+      std::vector<double> none;
+      const FrameHeader h =
+          recv_frame_blocking(fd, none, deadline, who + ": mesh hello");
+      if (h.kind != FrameKind::kHello || h.src <= cfg_.rank ||
+          h.src >= cfg_.nranks)
+        throw comm_error(who + ": bad mesh hello");
+      Peer& p = peers_[static_cast<std::size_t>(h.src)];
+      if (p.fd >= 0) throw comm_error(who + ": duplicate mesh connection");
+      p.fd = fd;
+    }
+  } catch (...) {
+    ::close(listener);
+    ::unlink(my_path.c_str());
+    throw;
+  }
+  ::close(listener);
+  ::unlink(my_path.c_str());
+
+  for (int s = 0; s < cfg_.nranks; ++s)
+    if (s != cfg_.rank) set_nonblocking(peers_[static_cast<std::size_t>(s)].fd);
+}
+
+SocketComm::~SocketComm() {
+  stop_heartbeat();
+  // Best-effort flush so a rank that finishes early does not strand
+  // messages its peers still want (eager-send contract); bounded so
+  // teardown can never hang.
+  try {
+    const double deadline = mono_now() + 5.0;
+    for (;;) {
+      bool pending = false;
+      for (int s = 0; s < cfg_.nranks; ++s) {
+        Peer& p = peers_[static_cast<std::size_t>(s)];
+        if (p.fd < 0 || p.closed || p.outbox.empty()) continue;
+        flush_peer(s);
+        if (!p.outbox.empty() && !p.closed) pending = true;
+      }
+      if (!pending || mono_now() >= deadline) break;
+      progress(0.01);
+    }
+  } catch (...) {
+    // teardown must not throw
+  }
+  for (Peer& p : peers_)
+    if (p.fd >= 0) ::close(p.fd);
+}
+
+void SocketComm::throttle(std::size_t bytes) {
+  const double bps = cfg_.fault.throttle_bytes_per_sec;
+  if (bps <= 0.0) return;
+  const double now = mono_now();
+  throttle_tokens_ = std::min(0.1 * bps,
+                              throttle_tokens_ + (now - throttle_last_) * bps);
+  throttle_last_ = now;
+  const double need = static_cast<double>(bytes);
+  if (need > throttle_tokens_) {
+    const double wait = (need - throttle_tokens_) / bps;
+    stats_.throttle_wait_seconds += wait;
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+    throttle_last_ = mono_now();
+  }
+  throttle_tokens_ -= need;
+}
+
+void SocketComm::enqueue_data(int dest, int tag, std::span<const double> data) {
+  FrameHeader h;
+  h.kind = FrameKind::kData;
+  h.src = cfg_.rank;
+  h.tag = tag;
+  h.count = data.size();
+  const auto hdr = encode_frame_header(h);
+  std::vector<std::byte> frame(hdr.size() + data.size() * sizeof(double));
+  std::memcpy(frame.data(), hdr.data(), hdr.size());
+  if (!data.empty())
+    std::memcpy(frame.data() + hdr.size(), data.data(),
+                data.size() * sizeof(double));
+  throttle(frame.size());
+  stats_.bytes_sent += static_cast<long long>(frame.size());
+  Peer& p = peers_[static_cast<std::size_t>(dest)];
+  if (p.closed)
+    throw comm_error("rank " + std::to_string(cfg_.rank) + ": send to rank " +
+                     std::to_string(dest) + " failed: connection closed");
+  p.outbox.push_back(std::move(frame));
+  flush_peer(dest);  // opportunistic; leftovers drain in progress()
+}
+
+void SocketComm::send(int dest, int tag, std::span<const double> data) {
+  SLIPFLOW_REQUIRE(dest >= 0 && dest < cfg_.nranks);
+  if (drop_remaining_ > 0 &&
+      (cfg_.fault.drop_dest == -1 || cfg_.fault.drop_dest == dest) &&
+      (cfg_.fault.drop_tag == -1 || cfg_.fault.drop_tag == tag)) {
+    --drop_remaining_;
+    ++stats_.frames_dropped;
+    return;
+  }
+  if (cfg_.fault.send_delay > 0.0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(cfg_.fault.send_delay));
+  ++stats_.messages_sent;
+  if (dest == cfg_.rank) {
+    mail_[{cfg_.rank, tag}].emplace_back(data.begin(), data.end());
+    ++stats_.messages_received;
+    return;
+  }
+  enqueue_data(dest, tag, data);
+}
+
+void SocketComm::flush_peer(int peer) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  while (!p.outbox.empty()) {
+    const std::vector<std::byte>& buf = p.outbox.front();
+    const ssize_t w = ::send(p.fd, buf.data() + p.out_off,
+                             buf.size() - p.out_off,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (w > 0) {
+      p.out_off += static_cast<std::size_t>(w);
+      if (p.out_off == buf.size()) {
+        p.outbox.pop_front();
+        p.out_off = 0;
+      }
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (w < 0 && errno == EINTR) continue;
+    // EPIPE / ECONNRESET: the peer is gone; undeliverable output is
+    // dropped and the next recv involving this peer reports it.
+    p.closed = true;
+    p.outbox.clear();
+    p.out_off = 0;
+    return;
+  }
+}
+
+void SocketComm::drain_peer(int src) {
+  Peer& p = peers_[static_cast<std::size_t>(src)];
+  std::byte chunk[65536];
+  for (;;) {
+    const ssize_t r = ::read(p.fd, chunk, sizeof(chunk));
+    if (r > 0) {
+      p.inbuf.insert(p.inbuf.end(), chunk, chunk + r);
+      if (static_cast<std::size_t>(r) == sizeof(chunk)) continue;
+      break;
+    }
+    if (r == 0) {
+      p.closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    p.closed = true;
+    break;
+  }
+  // Parse complete frames off the accumulated buffer.
+  while (p.inbuf.size() - p.in_off >= kFrameHeaderBytes) {
+    const FrameHeader h = decode_frame_header(
+        std::span<const std::byte>(p.inbuf).subspan(p.in_off));
+    const std::size_t need =
+        kFrameHeaderBytes + static_cast<std::size_t>(h.count) * sizeof(double);
+    if (p.inbuf.size() - p.in_off < need) break;
+    if (h.kind != FrameKind::kData || h.src != src)
+      throw comm_error("rank " + std::to_string(cfg_.rank) +
+                       ": unexpected frame from rank " + std::to_string(src));
+    std::vector<double> payload(h.count);
+    if (h.count > 0)
+      std::memcpy(payload.data(), p.inbuf.data() + p.in_off + kFrameHeaderBytes,
+                  payload.size() * sizeof(double));
+    mail_[{src, h.tag}].push_back(std::move(payload));
+    ++stats_.messages_received;
+    stats_.bytes_received += static_cast<long long>(need);
+    p.in_off += need;
+  }
+  if (p.in_off > 0) {
+    p.inbuf.erase(p.inbuf.begin(),
+                  p.inbuf.begin() + static_cast<std::ptrdiff_t>(p.in_off));
+    p.in_off = 0;
+  }
+}
+
+void SocketComm::progress(double max_wait_seconds) {
+  std::vector<pollfd> pfds;
+  std::vector<int> ranks;
+  for (int s = 0; s < cfg_.nranks; ++s) {
+    if (s == cfg_.rank) continue;
+    Peer& p = peers_[static_cast<std::size_t>(s)];
+    if (p.fd < 0 || p.closed) continue;
+    short events = POLLIN;
+    if (!p.outbox.empty()) events |= POLLOUT;
+    pfds.push_back(pollfd{p.fd, events, 0});
+    ranks.push_back(s);
+  }
+  if (pfds.empty()) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(std::min(max_wait_seconds, 0.01)));
+    return;
+  }
+  const int timeout_ms =
+      std::max(1, static_cast<int>(max_wait_seconds * 1000.0));
+  const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return;
+    throw_errno("poll(progress)");
+  }
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    if (pfds[i].revents == 0) continue;
+    if (pfds[i].revents & POLLOUT) flush_peer(ranks[i]);
+    if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) drain_peer(ranks[i]);
+  }
+}
+
+void SocketComm::throw_closed(int src, int tag) const {
+  throw comm_error("rank " + std::to_string(cfg_.rank) +
+                   ": connection to rank " + std::to_string(src) +
+                   " closed while waiting for (src=" + std::to_string(src) +
+                   ", tag=" + std::to_string(tag) + ")");
+}
+
+std::vector<double> SocketComm::recv(int src, int tag) {
+  SLIPFLOW_REQUIRE(src >= 0 && src < cfg_.nranks);
+  const double t0 = mono_now();
+  const double timeout = cfg_.comm.recv_timeout;
+  const double deadline =
+      timeout > 0.0 ? t0 + timeout : std::numeric_limits<double>::infinity();
+  const std::pair<int, int> key{src, tag};
+  for (;;) {
+    const auto it = mail_.find(key);
+    if (it != mail_.end() && !it->second.empty()) {
+      std::vector<double> out = std::move(it->second.front());
+      it->second.pop_front();
+      stats_.recv_wait_seconds += mono_now() - t0;
+      return out;
+    }
+    if (src == cfg_.rank)
+      throw comm_error("rank " + std::to_string(cfg_.rank) +
+                       ": blocking self-recv with empty mailbox would "
+                       "deadlock (tag " + std::to_string(tag) + ")");
+    if (peers_[static_cast<std::size_t>(src)].closed) throw_closed(src, tag);
+    const double now = mono_now();
+    if (now >= deadline)
+      throw comm_timeout(
+          "rank " + std::to_string(cfg_.rank) + ": recv timeout after " +
+          std::to_string(timeout) + "s waiting for (src=" +
+          std::to_string(src) + ", tag=" + std::to_string(tag) + ")");
+    progress(std::min(0.1, deadline - now));
+  }
+}
+
+namespace {
+// Reserved tags of the collective trees; user tags are non-negative.
+constexpr int kTagGatherTree = -101;
+constexpr int kTagBcastTree = -102;
+}  // namespace
+
+std::vector<double> SocketComm::allgather(std::span<const double> mine) {
+  const int n = cfg_.nranks;
+  const int me = cfg_.rank;
+  if (n == 1) return {mine.begin(), mine.end()};
+
+  // Binomial gather toward rank 0. Each message packs the sender's
+  // collected contiguous rank range as [k, (rank_i, count_i)*k, payloads
+  // in listed order], which keeps ragged contribution sizes exact.
+  std::map<int, std::vector<double>> parts;
+  parts[me] = {mine.begin(), mine.end()};
+  for (int step = 1; step < n; step <<= 1) {
+    if (me & step) {
+      std::vector<double> msg;
+      msg.push_back(static_cast<double>(parts.size()));
+      for (const auto& [r, v] : parts) {
+        msg.push_back(static_cast<double>(r));
+        msg.push_back(static_cast<double>(v.size()));
+      }
+      for (const auto& [r, v] : parts) {
+        (void)r;
+        msg.insert(msg.end(), v.begin(), v.end());
+      }
+      send(me - step, kTagGatherTree, msg);
+      parts.clear();
+      break;
+    }
+    if (me + step < n) {
+      const std::vector<double> msg = recv(me + step, kTagGatherTree);
+      SLIPFLOW_REQUIRE(!msg.empty());
+      const auto k = static_cast<std::size_t>(msg[0]);
+      std::size_t off = 1 + 2 * k;
+      for (std::size_t i = 0; i < k; ++i) {
+        const int r = static_cast<int>(msg[1 + 2 * i]);
+        const auto cnt = static_cast<std::size_t>(msg[2 + 2 * i]);
+        SLIPFLOW_REQUIRE(r >= 0 && r < n && off + cnt <= msg.size());
+        parts[r].assign(msg.begin() + static_cast<std::ptrdiff_t>(off),
+                        msg.begin() + static_cast<std::ptrdiff_t>(off + cnt));
+        off += cnt;
+      }
+    }
+  }
+
+  // Rank 0 concatenates in rank order — the exact layout ThreadComm's
+  // shared-memory allgather produces — then a binomial broadcast.
+  std::vector<double> result;
+  if (me == 0) {
+    SLIPFLOW_REQUIRE_MSG(static_cast<int>(parts.size()) == n,
+                         "allgather: missing contributions");
+    for (int r = 0; r < n; ++r) {
+      const auto& v = parts.at(r);
+      result.insert(result.end(), v.begin(), v.end());
+    }
+  }
+  int rounds = 0;
+  while ((1 << rounds) < n) ++rounds;
+  bool have = me == 0;
+  for (int step = 1 << (rounds - 1); step >= 1; step >>= 1) {
+    if (have && me % (2 * step) == 0 && me + step < n)
+      send(me + step, kTagBcastTree, result);
+    else if (!have && me % (2 * step) == step) {
+      result = recv(me - step, kTagBcastTree);
+      have = true;
+    }
+  }
+  return result;
+}
+
+void SocketComm::barrier() { (void)allgather({}); }
+
+double SocketComm::allreduce_sum(double x) {
+  const std::vector<double> all = allgather(std::span<const double>(&x, 1));
+  double s = 0.0;
+  for (double v : all) s += v;
+  return s;
+}
+
+double SocketComm::allreduce_max(double x) {
+  const std::vector<double> all = allgather(std::span<const double>(&x, 1));
+  double m = all.front();
+  for (double v : all) m = v > m ? v : m;
+  return m;
+}
+
+void SocketComm::note_progress(long long phase) {
+  progress_phase_.store(phase, std::memory_order_relaxed);
+  if (cfg_.fault.kill_at_phase >= 0 && phase >= cfg_.fault.kill_at_phase)
+    ::raise(SIGKILL);
+  if (cfg_.fault.stop_at_phase >= 0 && phase >= cfg_.fault.stop_at_phase)
+    ::raise(SIGSTOP);
+}
+
+void SocketComm::start_heartbeat() {
+  const double deadline = mono_now() + cfg_.connect_timeout;
+  hb_fd_ = connect_retry(cfg_.heartbeat_path, deadline,
+                         "rank " + std::to_string(cfg_.rank) + ": heartbeat");
+  hb_thread_ = std::thread([this] {
+    long long seq = 0;
+    for (;;) {
+      FrameHeader h;
+      h.kind = FrameKind::kHeartbeat;
+      h.src = cfg_.rank;
+      h.count = 2;
+      const double payload[2] = {
+          static_cast<double>(progress_phase_.load(std::memory_order_relaxed)),
+          static_cast<double>(seq++)};
+      const auto hdr = encode_frame_header(h);
+      std::byte frame[kFrameHeaderBytes + 2 * sizeof(double)];
+      std::memcpy(frame, hdr.data(), hdr.size());
+      std::memcpy(frame + hdr.size(), payload, sizeof(payload));
+      // Blocking write on the heartbeat's own fd; the monitor always
+      // drains, and a dead monitor (EPIPE) just ends the beats.
+      if (::send(hb_fd_, frame, sizeof(frame), MSG_NOSIGNAL) < 0) return;
+      hb_count_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::mutex> lk(hb_mu_);
+      if (hb_cv_.wait_for(lk,
+                          std::chrono::duration<double>(
+                              cfg_.heartbeat_interval),
+                          [this] { return hb_stop_; }))
+        return;
+    }
+  });
+}
+
+void SocketComm::stop_heartbeat() {
+  if (!hb_thread_.joinable()) {
+    if (hb_fd_ >= 0) ::close(hb_fd_);
+    hb_fd_ = -1;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(hb_mu_);
+    hb_stop_ = true;
+  }
+  hb_cv_.notify_all();
+  hb_thread_.join();
+  ::close(hb_fd_);
+  hb_fd_ = -1;
+}
+
+SocketStats SocketComm::stats() const {
+  SocketStats s = stats_;
+  s.heartbeats_sent = hb_count_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SocketComm::publish_stats() {
+  if (cfg_.metrics == nullptr) return;
+  const SocketStats s = stats();
+  obs::MetricsRegistry& reg = *cfg_.metrics;
+  const int r = cfg_.rank;
+  reg.add(r, "socket/bytes_sent", static_cast<double>(s.bytes_sent));
+  reg.add(r, "socket/bytes_received", static_cast<double>(s.bytes_received));
+  reg.add(r, "socket/messages_sent", static_cast<double>(s.messages_sent));
+  reg.add(r, "socket/messages_received",
+          static_cast<double>(s.messages_received));
+  reg.add(r, "socket/heartbeats", static_cast<double>(s.heartbeats_sent));
+  reg.add(r, "socket/frames_dropped", static_cast<double>(s.frames_dropped));
+  reg.add(r, "socket/recv_wait_seconds", s.recv_wait_seconds);
+  reg.add(r, "socket/throttle_wait_seconds", s.throttle_wait_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Forked in-process harness.
+
+void run_ranks_sockets(int nranks,
+                       const std::function<void(Communicator&)>& fn,
+                       const SocketRunOptions& opts) {
+  SLIPFLOW_REQUIRE(nranks >= 1);
+  SLIPFLOW_REQUIRE(fn != nullptr);
+  namespace fs = std::filesystem;
+
+  std::string dir = opts.dir;
+  bool own_dir = false;
+  if (dir.empty()) {
+    char tmpl[] = "/tmp/slipflow.XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    if (made == nullptr) throw_errno("mkdtemp");
+    dir = made;
+    own_dir = true;
+  }
+
+  struct Child {
+    pid_t pid = -1;
+    int err_fd = -1;
+    bool done = false;
+    int status = 0;
+    std::string err;
+  };
+  std::vector<Child> children(static_cast<std::size_t>(nranks));
+
+  // Parent-side buffered stdio must not leak duplicated output into the
+  // children.
+  std::fflush(stdout);
+  std::fflush(stderr);
+
+  for (int r = 0; r < nranks; ++r) {
+    int pipefd[2];
+    if (::pipe(pipefd) < 0) throw_errno("pipe");
+    const pid_t pid = ::fork();
+    if (pid < 0) throw_errno("fork");
+    if (pid == 0) {
+      // --- child: run the rank, report failure via exit code + stderr.
+      ::close(pipefd[0]);
+      ::dup2(pipefd[1], 2);
+      ::close(pipefd[1]);
+      int code = 0;
+      try {
+        SocketCommConfig cfg;
+        cfg.rank = r;
+        cfg.nranks = nranks;
+        cfg.dir = dir;
+        cfg.comm = opts.comm;
+        cfg.connect_timeout = opts.connect_timeout;
+        if (opts.faults) cfg.fault = opts.faults(r);
+        SocketComm comm(cfg);
+        fn(comm);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "rank %d: %s\n", r, e.what());
+        code = 3;
+      } catch (...) {
+        std::fprintf(stderr, "rank %d: unknown exception\n", r);
+        code = 3;
+      }
+      std::fflush(nullptr);
+      ::_exit(code);
+    }
+    ::close(pipefd[1]);
+    set_nonblocking(pipefd[0]);
+    children[static_cast<std::size_t>(r)] =
+        Child{pid, pipefd[0], false, 0, {}};
+  }
+
+  const double deadline = mono_now() + opts.wall_timeout;
+  bool timed_out = false;
+  auto drain_err = [&children] {
+    char buf[4096];
+    for (Child& c : children) {
+      if (c.err_fd < 0) continue;
+      for (;;) {
+        const ssize_t n = ::read(c.err_fd, buf, sizeof(buf));
+        if (n > 0) {
+          c.err.append(buf, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n == 0) {
+          ::close(c.err_fd);
+          c.err_fd = -1;
+        }
+        break;
+      }
+    }
+  };
+
+  int running = nranks;
+  while (running > 0) {
+    drain_err();
+    for (Child& c : children) {
+      if (c.done) continue;
+      int status = 0;
+      const pid_t w = ::waitpid(c.pid, &status, WNOHANG);
+      if (w == c.pid) {
+        c.done = true;
+        c.status = status;
+        --running;
+      }
+    }
+    if (running == 0) break;
+    if (mono_now() >= deadline) {
+      timed_out = true;
+      for (Child& c : children)
+        if (!c.done) ::kill(c.pid, SIGKILL);
+      for (Child& c : children) {
+        if (c.done) continue;
+        ::waitpid(c.pid, &c.status, 0);
+        c.done = true;
+      }
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  drain_err();
+  for (Child& c : children)
+    if (c.err_fd >= 0) ::close(c.err_fd);
+  if (own_dir) {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+
+  std::ostringstream diag;
+  bool failed = timed_out;
+  for (int r = 0; r < nranks; ++r) {
+    const Child& c = children[static_cast<std::size_t>(r)];
+    if (WIFSIGNALED(c.status))
+      diag << "rank " << r << " killed by signal " << WTERMSIG(c.status)
+           << "\n";
+    else if (WIFEXITED(c.status) && WEXITSTATUS(c.status) != 0)
+      diag << "rank " << r << " exited with code " << WEXITSTATUS(c.status)
+           << "\n";
+    else
+      continue;
+    failed = true;
+  }
+  if (!failed) return;
+  for (int r = 0; r < nranks; ++r) {
+    const Child& c = children[static_cast<std::size_t>(r)];
+    if (!c.err.empty()) diag << c.err;
+  }
+  if (timed_out)
+    throw comm_timeout("run_ranks_sockets: wall timeout after " +
+                       std::to_string(opts.wall_timeout) + "s\n" + diag.str());
+  throw comm_error("run_ranks_sockets: rank failure\n" + diag.str());
+}
+
+}  // namespace slipflow::transport

@@ -1,0 +1,195 @@
+#pragma once
+/// \file socket_comm.hpp
+/// SocketComm — real multi-process Communicator over Unix-domain
+/// sockets, the repo's stand-in for the paper's MPI-over-GigE cluster.
+///
+/// Topology: a full mesh of stream connections between N worker
+/// processes. Connection setup is a rank-0 rendezvous (everyone creates
+/// their own listener, checks in with rank 0, and dials the mesh only
+/// after rank 0 releases — so no dial can race a missing listener).
+///
+/// Semantics match ThreadComm exactly:
+///   - sends are eager/buffered: a send appends to a per-peer outbox and
+///     flushes opportunistically without ever blocking on the receiver,
+///     so the halo pattern "send left, send right, recv, recv" stays
+///     deadlock-free even when payloads exceed the kernel socket buffer;
+///   - messages are FIFO per (src, dst, tag) — frames on one stream
+///     cannot overtake;
+///   - allgather runs as a deterministic binomial gather tree to rank 0
+///     followed by a binomial broadcast, concatenating contributions in
+///     rank order; reductions fold the gathered vector in rank order.
+///     Results are therefore byte-identical to ThreadComm's.
+///
+/// Failures are named, never silent: a bounded recv throws comm_timeout
+/// with the pending (src, tag); a dead peer surfaces as comm_error the
+/// moment its stream hits EOF. An optional heartbeat thread reports
+/// (rank, phase) beats to the launcher's monitor socket, and a
+/// deterministic fault-injection layer (kill/stop at phase K, drop,
+/// delay, token-bucket throttling) drives the robustness tests and the
+/// real-process remapping benchmarks.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "transport/communicator.hpp"
+
+namespace slipflow::transport {
+
+/// Deterministic fault injection on one rank's endpoint. All triggers
+/// are counted/phase-based, never randomized, so a failing run replays.
+struct FaultInjection {
+  /// raise(SIGKILL) when note_progress reaches this phase (< 0 = off):
+  /// the hard-crash case the launcher must turn into a named-rank error.
+  long long kill_at_phase = -1;
+  /// raise(SIGSTOP) at this phase (< 0 = off): the process freezes —
+  /// heartbeats included — which is what the launcher's heartbeat
+  /// monitor exists to catch.
+  long long stop_at_phase = -1;
+  /// Drop the first `drop_count` outgoing data frames whose destination
+  /// matches `drop_dest` (-1 = any; -2 = injection off) and whose tag
+  /// matches `drop_tag` (-1 = any). The receiver's bounded recv then
+  /// reports the missing (src, tag) instead of hanging.
+  int drop_dest = -2;
+  int drop_tag = -1;
+  int drop_count = 1;
+  /// Sleep this long before every outgoing data frame (seconds).
+  double send_delay = 0.0;
+  /// Token-bucket bound on this rank's outgoing byte rate (bytes/s,
+  /// 0 = unlimited) with a 0.1 s burst allowance — emulates the slow
+  /// NIC / loaded host of the paper's non-dedicated nodes.
+  double throttle_bytes_per_sec = 0.0;
+};
+
+/// Transport-level counters of one endpoint (see also the `socket/*`
+/// metrics published by publish_stats()).
+struct SocketStats {
+  long long bytes_sent = 0;      ///< framed bytes enqueued (headers incl.)
+  long long bytes_received = 0;  ///< framed bytes parsed
+  long long messages_sent = 0;
+  long long messages_received = 0;
+  long long heartbeats_sent = 0;
+  long long frames_dropped = 0;  ///< by fault injection
+  double recv_wait_seconds = 0.0;
+  double throttle_wait_seconds = 0.0;
+};
+
+struct SocketCommConfig {
+  int rank = 0;
+  int nranks = 1;
+  /// Directory holding the rendezvous + per-rank listener sockets; all
+  /// ranks must agree. May be empty only for nranks == 1.
+  std::string dir;
+  CommOptions comm;
+  /// Bound on rendezvous / mesh-dial / setup reads (seconds).
+  double connect_timeout = 10.0;
+  /// Launcher monitor socket; empty = no heartbeat thread.
+  std::string heartbeat_path;
+  double heartbeat_interval = 0.25;
+  FaultInjection fault;
+  /// When set, publish_stats() writes the endpoint's counters into this
+  /// registry's shard `rank` under `socket/<name>`.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class SocketComm final : public Communicator {
+ public:
+  /// Connects the full mesh (blocking, bounded by connect_timeout) and
+  /// starts the heartbeat thread when configured.
+  explicit SocketComm(SocketCommConfig cfg);
+  /// Flushes pending sends (best effort, bounded), stops the heartbeat
+  /// thread, closes every connection. Never throws.
+  ~SocketComm() override;
+
+  SocketComm(const SocketComm&) = delete;
+  SocketComm& operator=(const SocketComm&) = delete;
+
+  int rank() const override { return cfg_.rank; }
+  int size() const override { return cfg_.nranks; }
+
+  void send(int dest, int tag, std::span<const double> data) override;
+  std::vector<double> recv(int src, int tag) override;
+  void barrier() override;
+  std::vector<double> allgather(std::span<const double> mine) override;
+  using Communicator::allreduce_sum;  // the vector overload
+  double allreduce_sum(double x) override;
+  double allreduce_max(double x) override;
+  void note_progress(long long phase) override;
+
+  /// Counter snapshot (heartbeat count folded in from its thread).
+  SocketStats stats() const;
+  /// Write the snapshot into cfg.metrics (shard = rank) as `socket/*`
+  /// counters; no-op without a registry. Call once, after the run.
+  void publish_stats();
+
+ private:
+  struct Peer {
+    int fd = -1;
+    bool closed = false;
+    std::deque<std::vector<std::byte>> outbox;
+    std::size_t out_off = 0;      ///< bytes of outbox.front() already sent
+    std::vector<std::byte> inbuf;
+    std::size_t in_off = 0;       ///< parsed prefix of inbuf
+  };
+
+  void setup_mesh();
+  void start_heartbeat();
+  void stop_heartbeat();
+  void enqueue_data(int dest, int tag, std::span<const double> data);
+  /// Flush as much of the peer's outbox as the kernel accepts right now.
+  void flush_peer(int peer);
+  /// Drain readable bytes and dispatch complete frames into mailboxes.
+  void drain_peer(int src);
+  /// One bounded step of the progress engine: poll all live peers for
+  /// readability (and writability where an outbox is pending).
+  void progress(double max_wait_seconds);
+  void throttle(std::size_t bytes);
+  [[noreturn]] void throw_closed(int src, int tag) const;
+
+  SocketCommConfig cfg_;
+  std::vector<Peer> peers_;  ///< indexed by rank; self entry unused
+  std::map<std::pair<int, int>, std::deque<std::vector<double>>> mail_;
+  SocketStats stats_;
+  double throttle_tokens_ = 0.0;
+  double throttle_last_ = 0.0;
+  int drop_remaining_ = 0;
+
+  int hb_fd_ = -1;
+  std::thread hb_thread_;
+  std::mutex hb_mu_;
+  std::condition_variable hb_cv_;
+  bool hb_stop_ = false;
+  std::atomic<long long> hb_count_{0};
+  std::atomic<long long> progress_phase_{-1};
+};
+
+/// In-process harness mirroring run_ranks() for the socket backend:
+/// forks `nranks` child processes (no exec), each running `fn` on its
+/// own SocketComm endpoint. The parent supervises with a wall-clock
+/// watchdog, captures each child's stderr, and throws on any child
+/// failure or on timeout with the collected per-rank diagnostics.
+/// For true fresh-address-space workers use transport::launch_workers
+/// with the slipflow_worker binary instead.
+struct SocketRunOptions {
+  CommOptions comm;
+  double connect_timeout = 10.0;
+  double wall_timeout = 60.0;
+  /// Socket directory; empty = a fresh mkdtemp under /tmp, removed after.
+  std::string dir;
+  /// Optional per-rank fault injection.
+  std::function<FaultInjection(int rank)> faults;
+};
+
+void run_ranks_sockets(int nranks,
+                       const std::function<void(Communicator&)>& fn,
+                       const SocketRunOptions& opts = {});
+
+}  // namespace slipflow::transport

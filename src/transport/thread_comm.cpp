@@ -1,5 +1,6 @@
 #include "transport/thread_comm.hpp"
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -16,10 +17,11 @@ namespace detail {
 
 /// Shared state of one run_ranks invocation.
 struct ThreadCommShared {
-  explicit ThreadCommShared(int n)
-      : nranks(n), contributions(static_cast<std::size_t>(n)) {}
+  ThreadCommShared(int n, CommOptions o)
+      : nranks(n), opts(o), contributions(static_cast<std::size_t>(n)) {}
 
   const int nranks;
+  const CommOptions opts;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -71,11 +73,25 @@ class Endpoint final : public Communicator {
     SLIPFLOW_REQUIRE(src >= 0 && src < sh_.nranks);
     std::unique_lock<std::mutex> lk(sh_.mu);
     const std::tuple<int, int, int> key{rank_, src, tag};
-    sh_.cv.wait(lk, [&] {
+    const auto ready = [&] {
       if (sh_.poisoned) return true;
       const auto it = sh_.mail.find(key);
       return it != sh_.mail.end() && !it->second.empty();
-    });
+    };
+    const double timeout = sh_.opts.recv_timeout;
+    if (timeout > 0.0) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(timeout));
+      if (!sh_.cv.wait_until(lk, deadline, ready))
+        throw comm_timeout(
+            "rank " + std::to_string(rank_) + ": recv timeout after " +
+            std::to_string(timeout) + "s waiting for (src=" +
+            std::to_string(src) + ", tag=" + std::to_string(tag) + ")");
+    } else {
+      sh_.cv.wait(lk, ready);
+    }
     sh_.check_poison_locked();
     auto& q = sh_.mail.find(key)->second;
     std::vector<double> out = std::move(q.front());
@@ -88,6 +104,8 @@ class Endpoint final : public Communicator {
   std::vector<double> allgather(std::span<const double> mine) override {
     return collective(mine, /*want_result=*/true);
   }
+
+  using Communicator::allreduce_sum;  // the vector overload
 
   double allreduce_sum(double x) override {
     const std::vector<double> all = allgather(std::span<const double>(&x, 1));
@@ -140,9 +158,14 @@ class Endpoint final : public Communicator {
 }  // namespace detail
 
 void run_ranks(int nranks, const std::function<void(Communicator&)>& fn) {
+  run_ranks(nranks, fn, CommOptions{});
+}
+
+void run_ranks(int nranks, const std::function<void(Communicator&)>& fn,
+               const CommOptions& opts) {
   SLIPFLOW_REQUIRE(nranks >= 1);
   SLIPFLOW_REQUIRE(fn != nullptr);
-  detail::ThreadCommShared shared(nranks);
+  detail::ThreadCommShared shared(nranks, opts);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {

@@ -30,4 +30,10 @@ struct ThreadCommShared;
 /// other ranks throw too.
 void run_ranks(int nranks, const std::function<void(Communicator&)>& fn);
 
+/// As above, with shared options. With opts.recv_timeout > 0 a recv that
+/// waits longer throws comm_timeout naming the pending (src, tag), so an
+/// in-process deadlock fails diagnosably instead of hanging ctest.
+void run_ranks(int nranks, const std::function<void(Communicator&)>& fn,
+               const CommOptions& opts);
+
 }  // namespace slipflow::transport

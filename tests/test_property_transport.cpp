@@ -1,15 +1,17 @@
 // Transport stress tests: randomized message storms with verifiable
 // content, exercising FIFO ordering, tag isolation and collective
-// interleaving under concurrency.
+// interleaving under concurrency — over both the thread and the real
+// multi-process socket backend.
 
 #include <gtest/gtest.h>
 
 #include <map>
 
-#include "transport/thread_comm.hpp"
+#include "transport_backends.hpp"
 #include "util/rng.hpp"
 
 using namespace slipflow::transport;
+using namespace slipflow::transport::backend_testing;
 using slipflow::util::Rng;
 
 namespace {
@@ -38,11 +40,19 @@ std::vector<Send> make_schedule(std::uint64_t seed, int ranks, int count) {
 
 }  // namespace
 
-TEST(TransportStorm, RandomTrafficDeliversInFifoOrderPerChannel) {
+class TransportStorm : public ::testing::TestWithParam<Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(ConcurrentBackends, TransportStorm,
+                         ::testing::Values(Backend::kThread, Backend::kSocket),
+                         [](const auto& pinfo) {
+                           return backend_name(pinfo.param);
+                         });
+
+TEST_P(TransportStorm, RandomTrafficDeliversInFifoOrderPerChannel) {
   for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
     const int ranks = 5;
     const auto schedule = make_schedule(seed, ranks, 400);
-    run_ranks(ranks, [&](Communicator& c) {
+    run_backend(GetParam(), ranks, [&](Communicator& c) {
       // send my messages in schedule order
       for (const Send& m : schedule) {
         if (m.src != c.rank()) continue;
@@ -60,8 +70,10 @@ TEST(TransportStorm, RandomTrafficDeliversInFifoOrderPerChannel) {
   }
 }
 
-TEST(TransportStorm, LargePayloadsSurviveIntact) {
-  run_ranks(3, [](Communicator& c) {
+TEST_P(TransportStorm, LargePayloadsSurviveIntact) {
+  // 100k doubles = 800 KB per message — far beyond any kernel socket
+  // buffer, so the socket backend must buffer and stream.
+  run_backend(GetParam(), 3, [](Communicator& c) {
     const int peer = (c.rank() + 1) % 3;
     std::vector<double> big(100000);
     for (std::size_t i = 0; i < big.size(); ++i)
@@ -75,8 +87,8 @@ TEST(TransportStorm, LargePayloadsSurviveIntact) {
   });
 }
 
-TEST(TransportStorm, CollectivesInterleavedWithPointToPoint) {
-  run_ranks(4, [](Communicator& c) {
+TEST_P(TransportStorm, CollectivesInterleavedWithPointToPoint) {
+  run_backend(GetParam(), 4, [](Communicator& c) {
     for (int round = 0; round < 25; ++round) {
       const int peer = (c.rank() + 1) % 4;
       c.send(peer, 7, std::vector<double>{static_cast<double>(round)});
@@ -91,27 +103,18 @@ TEST(TransportStorm, CollectivesInterleavedWithPointToPoint) {
   });
 }
 
-TEST(TransportStorm, ManyRanksBarrierHammer) {
-  run_ranks(8, [](Communicator& c) {
+TEST_P(TransportStorm, ManyRanksBarrierHammer) {
+  run_backend(GetParam(), 8, [](Communicator& c) {
     for (int i = 0; i < 200; ++i) c.barrier();
     const double v = static_cast<double>(c.rank());
     ASSERT_DOUBLE_EQ(c.allreduce_max(v), 7.0);
   });
 }
 
-TEST(TransportStorm, EmptyMessagesAreLegal) {
-  run_ranks(2, [](Communicator& c) {
-    if (c.rank() == 0) c.send(1, 9, std::vector<double>{});
-    if (c.rank() == 1) ASSERT_TRUE(c.recv(0, 9).empty());
-    // empty allgather contributions too
-    const auto all = c.allgather(std::span<const double>{});
-    ASSERT_TRUE(all.empty());
-  });
-}
-
-TEST(TransportStorm, RepeatedRunRanksSessionsAreIndependent) {
-  for (int session = 0; session < 10; ++session) {
-    run_ranks(3, [session](Communicator& c) {
+TEST_P(TransportStorm, RepeatedSessionsAreIndependent) {
+  const int sessions = GetParam() == Backend::kSocket ? 3 : 10;
+  for (int session = 0; session < sessions; ++session) {
+    run_backend(GetParam(), 3, [session](Communicator& c) {
       const double v = session * 100.0 + c.rank();
       const auto all = c.allgather(std::span<const double>(&v, 1));
       for (int r = 0; r < 3; ++r)

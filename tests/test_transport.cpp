@@ -1,28 +1,50 @@
-// Transport layer: threads-as-ranks message passing with MPI semantics.
+// Transport layer: MPI-semantics message passing over every backend.
+//
+// The parameterized suite runs each contract test over SerialComm,
+// ThreadComm (threads-as-ranks) and SocketComm (forked processes over
+// Unix-domain sockets). Test bodies make all assertions in-rank so they
+// hold under fork. Thread-only behaviors (shared-memory visibility,
+// poison propagation) keep their own non-parameterized tests below.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
-#include "transport/serial_comm.hpp"
-#include "transport/thread_comm.hpp"
+#include "transport_backends.hpp"
 
 using namespace slipflow::transport;
+using namespace slipflow::transport::backend_testing;
 
-TEST(ThreadComm, RankAndSizeAreCorrect) {
-  std::atomic<int> seen{0};
-  run_ranks(4, [&](Communicator& c) {
+class TransportSuite : public ::testing::TestWithParam<Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, TransportSuite,
+                         ::testing::Values(Backend::kSerial, Backend::kThread,
+                                           Backend::kSocket),
+                         [](const auto& pinfo) {
+                           return backend_name(pinfo.param);
+                         });
+
+TEST_P(TransportSuite, RankAndSizeAreCorrect) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(4);
+  run_backend(GetParam(), 4, [](Communicator& c) {
     EXPECT_EQ(c.size(), 4);
     EXPECT_GE(c.rank(), 0);
     EXPECT_LT(c.rank(), 4);
-    seen.fetch_add(1 << c.rank());
+    // every rank contributes exactly its id — verified in-rank
+    const double mine = static_cast<double>(c.rank());
+    const auto all = c.allgather(std::span<const double>(&mine, 1));
+    ASSERT_EQ(all.size(), 4u);
+    for (int r = 0; r < 4; ++r)
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], static_cast<double>(r));
   });
-  EXPECT_EQ(seen.load(), 0b1111);
 }
 
-TEST(ThreadComm, PointToPointDelivers) {
-  run_ranks(2, [](Communicator& c) {
+TEST_P(TransportSuite, PointToPointDelivers) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(2);
+  run_backend(GetParam(), 2, [](Communicator& c) {
     if (c.rank() == 0) {
       const std::vector<double> msg{1.0, 2.0, 3.0};
       c.send(1, 42, msg);
@@ -33,9 +55,10 @@ TEST(ThreadComm, PointToPointDelivers) {
   });
 }
 
-TEST(ThreadComm, MessagesDoNotOvertake) {
+TEST_P(TransportSuite, MessagesDoNotOvertake) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(2);
   // FIFO per (src, dst, tag) — MPI's non-overtaking guarantee.
-  run_ranks(2, [](Communicator& c) {
+  run_backend(GetParam(), 2, [](Communicator& c) {
     if (c.rank() == 0) {
       for (double v = 0; v < 50; ++v)
         c.send(1, 7, std::vector<double>{v});
@@ -46,8 +69,9 @@ TEST(ThreadComm, MessagesDoNotOvertake) {
   });
 }
 
-TEST(ThreadComm, TagsAreIndependentChannels) {
-  run_ranks(2, [](Communicator& c) {
+TEST_P(TransportSuite, TagsAreIndependentChannels) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(2);
+  run_backend(GetParam(), 2, [](Communicator& c) {
     if (c.rank() == 0) {
       c.send(1, 1, std::vector<double>{1.0});
       c.send(1, 2, std::vector<double>{2.0});
@@ -59,17 +83,19 @@ TEST(ThreadComm, TagsAreIndependentChannels) {
   });
 }
 
-TEST(ThreadComm, SelfSendWorks) {
-  run_ranks(3, [](Communicator& c) {
+TEST_P(TransportSuite, SelfSendWorks) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(3);
+  run_backend(GetParam(), 3, [](Communicator& c) {
     c.send(c.rank(), 5, std::vector<double>{static_cast<double>(c.rank())});
     EXPECT_EQ(c.recv(c.rank(), 5)[0], static_cast<double>(c.rank()));
   });
 }
 
-TEST(ThreadComm, NeighborExchangePattern) {
+TEST_P(TransportSuite, NeighborExchangePattern) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(5);
   // the runner's send-both-then-recv-both halo pattern must not deadlock
   const int n = 5;
-  run_ranks(n, [n](Communicator& c) {
+  run_backend(GetParam(), n, [n](Communicator& c) {
     const int l = (c.rank() + n - 1) % n;
     const int r = (c.rank() + 1) % n;
     const std::vector<double> mine{static_cast<double>(c.rank())};
@@ -80,20 +106,22 @@ TEST(ThreadComm, NeighborExchangePattern) {
   });
 }
 
-TEST(ThreadComm, BarrierSynchronizes) {
-  std::atomic<int> before{0}, after{0};
-  run_ranks(4, [&](Communicator& c) {
-    before.fetch_add(1);
+TEST_P(TransportSuite, BarrierThenMessageOrder) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(4);
+  // A message sent before a barrier is receivable after it on all
+  // backends (in-rank formulation of the synchronization property).
+  run_backend(GetParam(), 4, [](Communicator& c) {
+    const int peer = (c.rank() + 1) % c.size();
+    c.send(peer, 3, std::vector<double>{static_cast<double>(c.rank())});
     c.barrier();
-    // everyone must have incremented before anyone proceeds
-    EXPECT_EQ(before.load(), 4);
-    after.fetch_add(1);
+    const int from = (c.rank() + c.size() - 1) % c.size();
+    EXPECT_EQ(c.recv(from, 3)[0], static_cast<double>(from));
   });
-  EXPECT_EQ(after.load(), 4);
 }
 
-TEST(ThreadComm, AllgatherOrdersByRank) {
-  run_ranks(4, [](Communicator& c) {
+TEST_P(TransportSuite, AllgatherOrdersByRank) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(4);
+  run_backend(GetParam(), 4, [](Communicator& c) {
     const double mine[2] = {static_cast<double>(c.rank()),
                             static_cast<double>(c.rank() * 10)};
     const auto all = c.allgather(std::span<const double>(mine, 2));
@@ -105,8 +133,21 @@ TEST(ThreadComm, AllgatherOrdersByRank) {
   });
 }
 
-TEST(ThreadComm, RepeatedCollectivesKeepGenerations) {
-  run_ranks(3, [](Communicator& c) {
+TEST_P(TransportSuite, AllgatherHandlesNonPowerOfTwoRanks) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(5);
+  // The socket backend's binomial trees must be exact for ragged fan-in.
+  run_backend(GetParam(), 5, [](Communicator& c) {
+    const double mine = 1000.0 + c.rank();
+    const auto all = c.allgather(std::span<const double>(&mine, 1));
+    ASSERT_EQ(all.size(), 5u);
+    for (int r = 0; r < 5; ++r)
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], 1000.0 + r);
+  });
+}
+
+TEST_P(TransportSuite, RepeatedCollectivesKeepGenerations) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(3);
+  run_backend(GetParam(), 3, [](Communicator& c) {
     for (int round = 0; round < 20; ++round) {
       const double v = c.rank() + 100.0 * round;
       const auto all = c.allgather(std::span<const double>(&v, 1));
@@ -116,28 +157,103 @@ TEST(ThreadComm, RepeatedCollectivesKeepGenerations) {
   });
 }
 
-TEST(ThreadComm, AllreduceSum) {
-  run_ranks(5, [](Communicator& c) {
+TEST_P(TransportSuite, AllreduceSum) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(5);
+  run_backend(GetParam(), 5, [](Communicator& c) {
     const double s = c.allreduce_sum(static_cast<double>(c.rank()));
     EXPECT_DOUBLE_EQ(s, 0 + 1 + 2 + 3 + 4);
   });
 }
 
-TEST(ThreadComm, AllreduceMax) {
-  run_ranks(5, [](Communicator& c) {
+TEST_P(TransportSuite, AllreduceMax) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(5);
+  run_backend(GetParam(), 5, [](Communicator& c) {
     const double m = c.allreduce_max(static_cast<double>(c.rank() * 2));
     EXPECT_DOUBLE_EQ(m, 8.0);
   });
 }
 
-TEST(ThreadComm, SingleRankDegenerate) {
-  run_ranks(1, [](Communicator& c) {
+TEST_P(TransportSuite, VectorAllreduceSumMatchesScalar) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(4);
+  run_backend(GetParam(), 4, [](Communicator& c) {
+    const double mine[3] = {static_cast<double>(c.rank()),
+                            0.125 * c.rank(),  // exact in binary
+                            static_cast<double>(c.rank() * c.rank())};
+    const std::vector<double> sums =
+        c.allreduce_sum(std::span<const double>(mine, 3));
+    ASSERT_EQ(sums.size(), 3u);
+    // byte-identical to the scalar reduction of each element
+    for (int i = 0; i < 3; ++i)
+      EXPECT_EQ(sums[static_cast<std::size_t>(i)], c.allreduce_sum(mine[i]));
+    EXPECT_EQ(sums[0], 6.0);
+    EXPECT_EQ(sums[1], 0.75);
+    EXPECT_EQ(sums[2], 14.0);
+  });
+}
+
+TEST_P(TransportSuite, SingleRankDegenerate) {
+  run_backend(GetParam(), 1, [](Communicator& c) {
     EXPECT_EQ(c.size(), 1);
     c.barrier();
     const double v = 3.0;
     EXPECT_EQ(c.allgather(std::span<const double>(&v, 1)),
               std::vector<double>{3.0});
+    const double xs[2] = {1.0, 2.0};
+    EXPECT_EQ(c.allreduce_sum(std::span<const double>(xs, 2)),
+              (std::vector<double>{1.0, 2.0}));
   });
+}
+
+TEST_P(TransportSuite, EmptyMessagesAreLegal) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(2);
+  run_backend(GetParam(), 2, [](Communicator& c) {
+    if (c.rank() == 0) c.send(1, 9, std::vector<double>{});
+    if (c.rank() == 1) {
+      EXPECT_TRUE(c.recv(0, 9).empty());
+    }
+    const auto all = c.allgather(std::span<const double>{});
+    EXPECT_TRUE(all.empty());
+  });
+}
+
+TEST_P(TransportSuite, RecvTimeoutNamesPendingSourceAndTag) {
+  if (GetParam() == Backend::kSerial)
+    GTEST_SKIP() << "SerialComm fails empty recvs eagerly (contract_error)";
+  CommOptions opts;
+  opts.recv_timeout = 0.4;
+  run_backend(
+      GetParam(), 2,
+      [](Communicator& c) {
+        if (c.rank() == 1) {
+          try {
+            c.recv(0, 77);
+            ADD_FAILURE() << "recv of a never-sent message must time out";
+          } catch (const comm_timeout& e) {
+            const std::string msg = e.what();
+            EXPECT_NE(msg.find("src=0"), std::string::npos) << msg;
+            EXPECT_NE(msg.find("tag=77"), std::string::npos) << msg;
+          }
+        } else {
+          // outlive rank 1's timeout so the socket backend reports a
+          // timeout, not a closed connection
+          std::this_thread::sleep_for(std::chrono::milliseconds(900));
+        }
+      },
+      opts);
+}
+
+// --- Thread-backend-only behaviors (shared-memory state, poison) ---
+
+TEST(ThreadComm, BarrierSynchronizes) {
+  std::atomic<int> before{0}, after{0};
+  run_ranks(4, [&](Communicator& c) {
+    before.fetch_add(1);
+    c.barrier();
+    // everyone must have incremented before anyone proceeds
+    EXPECT_EQ(before.load(), 4);
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), 4);
 }
 
 TEST(ThreadComm, ExceptionInOneRankPropagates) {
@@ -158,6 +274,22 @@ TEST(ThreadComm, InvalidDestinationRejected) {
                            c.send(5, 1, std::vector<double>{1.0});
                          }),
                slipflow::contract_error);
+}
+
+TEST(ThreadComm, TimeoutDoesNotFireWhenMessagesFlow) {
+  CommOptions opts;
+  opts.recv_timeout = 5.0;
+  run_ranks(
+      2,
+      [](Communicator& c) {
+        for (int i = 0; i < 100; ++i) {
+          if (c.rank() == 0)
+            c.send(1, 1, std::vector<double>{static_cast<double>(i)});
+          else
+            EXPECT_EQ(c.recv(0, 1)[0], static_cast<double>(i));
+        }
+      },
+      opts);
 }
 
 TEST(SerialComm, SelfMessagingAndCollectives) {

@@ -1,0 +1,75 @@
+#pragma once
+/// Shared harness for running one transport test body over every
+/// Communicator backend. Thread and Serial run in-process; Socket forks
+/// real child processes (run_ranks_sockets), so test bodies used with it
+/// must make ALL assertions in-rank — a gtest failure inside a forked
+/// child is converted to a nonzero exit below and resurfaces in the
+/// parent as a comm_error carrying the child's stderr.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+
+#include "transport/serial_comm.hpp"
+#include "transport/socket_comm.hpp"
+#include "transport/thread_comm.hpp"
+
+namespace slipflow::transport::backend_testing {
+
+enum class Backend { kSerial, kThread, kSocket };
+
+inline const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kSerial: return "Serial";
+    case Backend::kThread: return "Thread";
+    case Backend::kSocket: return "Socket";
+  }
+  return "?";
+}
+
+/// SerialComm only exists at one rank; the others scale.
+inline bool supports(Backend b, int nranks) {
+  return b != Backend::kSerial || nranks == 1;
+}
+
+inline void run_backend(Backend b, int nranks,
+                        const std::function<void(Communicator&)>& fn,
+                        const CommOptions& opts = {}) {
+  switch (b) {
+    case Backend::kSerial: {
+      SerialComm c;
+      fn(c);
+      return;
+    }
+    case Backend::kThread:
+      run_ranks(nranks, fn, opts);
+      return;
+    case Backend::kSocket: {
+      SocketRunOptions ro;
+      ro.comm = opts;
+      // A hung socket test must fail in ctest, never wedge it.
+      if (ro.comm.recv_timeout <= 0.0) ro.comm.recv_timeout = 20.0;
+      ro.wall_timeout = 90.0;
+      run_ranks_sockets(
+          nranks,
+          [&fn](Communicator& c) {
+            fn(c);
+            if (::testing::Test::HasFailure())
+              throw std::runtime_error(
+                  "gtest assertion failed in this rank (see messages above)");
+          },
+          ro);
+      return;
+    }
+  }
+}
+
+#define SLIPFLOW_SKIP_IF_UNSUPPORTED(nranks)                               \
+  do {                                                                     \
+    if (!slipflow::transport::backend_testing::supports(GetParam(),        \
+                                                        (nranks)))         \
+      GTEST_SKIP() << "backend does not support " << (nranks) << " ranks"; \
+  } while (0)
+
+}  // namespace slipflow::transport::backend_testing
