@@ -13,9 +13,16 @@
 ///   --require-speedup=<x>    exit nonzero unless plan MLUPS >= x times
 ///                            legacy MLUPS on the full-phase pair (the CI
 ///                            perf guard; 0 = report only)
+///   --require-overlap-speedup=<x>
+///                            exit nonzero unless the 4-rank overlapped
+///                            runner reaches x times the blocking
+///                            runner's MLUPS (0 = report only). Needs
+///                            real cores to mean anything; on a
+///                            single-core box the ratio hovers near 1.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -26,6 +33,8 @@
 #include "lbm/kernels.hpp"
 #include "lbm/simulation.hpp"
 #include "lbm/stepper.hpp"
+#include "sim/parallel_lbm.hpp"
+#include "transport/thread_comm.hpp"
 
 using namespace slipflow;
 using namespace slipflow::lbm;
@@ -155,6 +164,66 @@ void BM_PlaneMigration(benchmark::State& state) {
 }
 BENCHMARK(BM_PlaneMigration);
 
+// --- hybrid runner: blocking vs overlapped halo exchange --------------
+// The perf box split across 4 ThreadComm rank-threads, stepping the real
+// ParallelLbm. Only run() is timed (manual time, max over ranks via the
+// closing barrier); setup and teardown stay outside. The blocking /
+// overlap pair at T=1 is the repo's communication-overlap claim; the
+// T=2 / T=4 variants add the intra-rank interior sweep threads.
+
+void BM_ParallelPhase(benchmark::State& state, sim::StepMode step,
+                      int threads) {
+  constexpr int kRanks = 4;
+  constexpr int kPhasesPerIter = 10;
+  sim::RunnerConfig cfg;
+  cfg.global = kPerfBox;
+  cfg.fluid = FluidParams::microchannel_defaults();
+  cfg.policy = "none";
+  cfg.step = step;
+  cfg.threads = threads;
+  for (auto _ : state) {
+    double seconds = 0.0;
+    transport::run_ranks(kRanks, [&](transport::Communicator& c) {
+      sim::ParallelLbm run(cfg, c);
+      run.initialize_uniform();
+      c.barrier();
+      const auto t0 = std::chrono::steady_clock::now();
+      run.run(kPhasesPerIter);
+      c.barrier();  // closes when the slowest rank finished
+      if (c.rank() == 0)
+        seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    });
+    state.SetIterationTime(seconds);
+  }
+  const auto cells = static_cast<long long>(kPerfBox.cells()) *
+                     kPhasesPerIter * state.iterations();
+  state.SetItemsProcessed(cells);
+  state.counters["MLUPS"] = benchmark::Counter(
+      static_cast<double>(cells) / 1e6, benchmark::Counter::kIsRate);
+}
+
+void BM_ParallelPhase_Blocking(benchmark::State& state) {
+  BM_ParallelPhase(state, sim::StepMode::blocking, 1);
+}
+BENCHMARK(BM_ParallelPhase_Blocking)->UseManualTime();
+
+void BM_ParallelPhase_Overlap_T1(benchmark::State& state) {
+  BM_ParallelPhase(state, sim::StepMode::overlap, 1);
+}
+BENCHMARK(BM_ParallelPhase_Overlap_T1)->UseManualTime();
+
+void BM_ParallelPhase_Overlap_T2(benchmark::State& state) {
+  BM_ParallelPhase(state, sim::StepMode::overlap, 2);
+}
+BENCHMARK(BM_ParallelPhase_Overlap_T2)->UseManualTime();
+
+void BM_ParallelPhase_Overlap_T4(benchmark::State& state) {
+  BM_ParallelPhase(state, sim::StepMode::overlap, 4);
+}
+BENCHMARK(BM_ParallelPhase_Overlap_T4)->UseManualTime();
+
 void BM_PlanBuild(benchmark::State& state) {
   // the cost a migration adds outside the remap span: one O(owned cells)
   // classification pass over the perf box
@@ -179,8 +248,14 @@ class MlupsReporter : public benchmark::ConsoleReporter {
   }
 
   double get(const std::string& name) const {
-    const auto it = mlups_.find(name);
-    return it == mlups_.end() ? 0.0 : it->second;
+    // prefer the median under --benchmark_repetitions, then the
+    // manual-time suffix, then the bare name
+    for (const char* suffix :
+         {"/manual_time_median", "_median", "/manual_time", ""}) {
+      const auto it = mlups_.find(name + suffix);
+      if (it != mlups_.end()) return it->second;
+    }
+    return 0.0;
   }
   const std::map<std::string, double>& all() const { return mlups_; }
 
@@ -194,6 +269,7 @@ int main(int argc, char** argv) {
   // split our flags from google-benchmark's
   std::string json_flag;
   double require_speedup = 0.0;
+  double require_overlap_speedup = 0.0;
   std::vector<char*> bargs{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -201,6 +277,8 @@ int main(int argc, char** argv) {
       json_flag = a;
     else if (a.rfind("--require-speedup=", 0) == 0)
       require_speedup = std::stod(a.substr(18));
+    else if (a.rfind("--require-overlap-speedup=", 0) == 0)
+      require_overlap_speedup = std::stod(a.substr(26));
     else
       bargs.push_back(argv[i]);
   }
@@ -215,6 +293,9 @@ int main(int argc, char** argv) {
   const double legacy = reporter.get("BM_FullPhase_TwoComponent_Legacy");
   const double plan = reporter.get("BM_FullPhase_TwoComponent_Plan");
   const double speedup = legacy > 0.0 ? plan / legacy : 0.0;
+  const double blocking = reporter.get("BM_ParallelPhase_Blocking");
+  const double overlap = reporter.get("BM_ParallelPhase_Overlap_T1");
+  const double overlap_speedup = blocking > 0.0 ? overlap / blocking : 0.0;
 
   const char* summary_argv[] = {argv[0], json_flag.c_str()};
   const auto opts = util::Options::parse(json_flag.empty() ? 1 : 2,
@@ -225,6 +306,10 @@ int main(int argc, char** argv) {
   summary.add("mlups_plan", plan);
   summary.add("plan_speedup", speedup);
   summary.add("require_speedup", require_speedup);
+  summary.add("mlups_blocking_4ranks", blocking);
+  summary.add("mlups_overlap_4ranks", overlap);
+  summary.add("overlap_speedup", overlap_speedup);
+  summary.add("require_overlap_speedup", require_overlap_speedup);
   summary.write(opts);
 
   if (require_speedup > 0.0) {
@@ -240,6 +325,22 @@ int main(int argc, char** argv) {
     if (speedup < require_speedup) {
       std::fprintf(stderr, "perf guard FAILED: %.2fx < %.2fx\n", speedup,
                    require_speedup);
+      return 1;
+    }
+  }
+  if (require_overlap_speedup > 0.0) {
+    if (blocking <= 0.0 || overlap <= 0.0) {
+      std::fprintf(stderr,
+                   "overlap guard: 4-rank pair missing from the run "
+                   "(check --benchmark_filter)\n");
+      return 1;
+    }
+    std::printf("overlap guard: overlap %.1f MLUPS vs blocking %.1f MLUPS "
+                "(%.2fx, required %.2fx)\n",
+                overlap, blocking, overlap_speedup, require_overlap_speedup);
+    if (overlap_speedup < require_overlap_speedup) {
+      std::fprintf(stderr, "overlap guard FAILED: %.2fx < %.2fx\n",
+                   overlap_speedup, require_overlap_speedup);
       return 1;
     }
   }

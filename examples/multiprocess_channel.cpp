@@ -5,6 +5,7 @@
 ///
 ///   build/examples/multiprocess_channel [--ranks=4] [--phases=200]
 ///       [--policy=filtered] [--nx=32] [--slow-rank=1] [--slow-factor=3]
+///       [--threads=2] [--step=overlap|blocking]
 ///       [--fault-kill-rank=2 --fault-kill-phase=20 --expect-failure]
 ///
 /// With --expect-failure the program exits 0 exactly when the launcher
@@ -36,6 +37,8 @@ int main(int argc, char** argv) {
   const long long kill_phase = opts.get("fault-kill-phase", -1LL);
   const bool expect_failure = opts.get("expect-failure", false);
   const double wall_timeout = opts.get("wall-timeout", 120.0);
+  const long long threads = opts.get("threads", 1LL);
+  const std::string step = opts.get("step", std::string("overlap"));
   const std::string worker =
       opts.get("worker", std::string(SLIPFLOW_WORKER_EXE));
   for (const auto& k : opts.unused_keys())
@@ -52,7 +55,9 @@ int main(int argc, char** argv) {
                        "--remap-interval=5",
                        "--window=4",
                        "--min-transfer=96",
-                       "--recv-timeout=20"};
+                       "--recv-timeout=20",
+                       "--threads=" + std::to_string(threads),
+                       "--step=" + step};
   if (slow_rank >= 0 && slow_rank < ranks) {
     lc.worker_command.push_back("--slow-rank=" + std::to_string(slow_rank));
     lc.worker_command.push_back("--slow-factor=" +

@@ -6,6 +6,7 @@
 ///
 ///   build/examples/parallel_channel [--ranks=4] [--phases=200]
 ///       [--slow-rank=1] [--slow-factor=3] [--policy=filtered] [--nx=32]
+///       [--threads=2] [--step=overlap|blocking]
 
 #include <iostream>
 #include <mutex>
@@ -27,10 +28,15 @@ int main(int argc, char** argv) {
   const double slow_factor = opts.get("slow-factor", 3.0);
   const std::string policy = opts.get("policy", std::string("filtered"));
   const index_t nx = opts.get("nx", 32LL);
+  const int threads = static_cast<int>(opts.get("threads", 1LL));
+  const std::string step = opts.get("step", std::string("overlap"));
   for (const auto& k : opts.unused_keys())
     std::cerr << "warning: unknown option --" << k << "\n";
 
   sim::RunnerConfig cfg;
+  cfg.threads = threads;
+  cfg.step = step == "blocking" ? sim::StepMode::blocking
+                                : sim::StepMode::overlap;
   cfg.global = Extents{nx, 16, 6};
   cfg.fluid = FluidParams::microchannel_defaults();
   cfg.policy = policy;

@@ -122,9 +122,16 @@ void stream(Slab& slab) {
 }
 
 void compute_density(Slab& slab) {
+  compute_density_planes(slab, 1, slab.nx_local() + 1);
+}
+
+void compute_density_planes(Slab& slab, index_t plane_begin,
+                            index_t plane_end) {
+  SLIPFLOW_REQUIRE(plane_begin >= 1 && plane_end <= slab.nx_local() + 1 &&
+                   plane_begin <= plane_end);
   const Extents& st = slab.storage();
-  const index_t first = st.plane_cells();
-  const index_t count = slab.nx_local() * st.plane_cells();
+  const index_t first = plane_begin * st.plane_cells();
+  const index_t count = (plane_end - plane_begin) * st.plane_cells();
   for (std::size_t c = 0; c < slab.num_components(); ++c) {
     const DistField& f = slab.f(c);
     ScalarField& n = slab.density(c);

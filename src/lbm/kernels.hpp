@@ -76,4 +76,61 @@ void fused_collide_stream(Slab& slab);
 /// periodic / obstacle masks come from the plan's neighbor tables.
 void compute_forces_and_velocity_plan(Slab& slab);
 
+// --- split plan kernels (kernels_plan.cpp) -----------------------------
+// The overlap runner executes the plan kernels in pieces: the
+// halo-independent bulk while the exchange is in flight (possibly sliced
+// further across pool threads), the halo-dependent remainder after
+// wait(). Each f_post slot / density cell / force cell is still written
+// exactly once per phase by exactly one piece, so any partition —
+// including a threaded one — is bit-identical to the fused calls above.
+
+/// Collide+stream the slices [run_begin, run_end) of
+/// plan.stream_interior() and [cell_begin, cell_end) of
+/// plan.stream_boundary(). Reads only owned f/n/ueq; writes only the
+/// f_post slots those cells' pushes and links own, so disjoint slices
+/// may run concurrently. No halo data is touched: every stream cell
+/// (boundary ones included) is halo-independent — the exchanged planes
+/// enter only through fused_collide_stream_finish's pulls.
+void fused_collide_stream_range(Slab& slab, std::size_t run_begin,
+                                std::size_t run_end, std::size_t cell_begin,
+                                std::size_t cell_end);
+
+/// Complete streaming once the f-halo landed: copy the plan's halo pulls,
+/// swap f_post into f and pin solid cells. fused_collide_stream ==
+/// full-range fused_collide_stream_range + this.
+void fused_collide_stream_finish(Slab& slab);
+
+/// Density of the owned planes [plane_begin, plane_end) (1-based local
+/// plane numbers, end exclusive), element-for-element the same update as
+/// compute_density — which equals planes [1, nx_local+1).
+void compute_density_planes(Slab& slab, index_t plane_begin,
+                            index_t plane_end);
+
+/// Per-component psi pointers for the ranged force kernel. For the
+/// paper's psi = n they alias the density storage; for the exponential
+/// form `scratch` caches 1 - exp(-n) per storage cell.
+struct ForcePsiCache {
+  std::array<const double*, 8> psi{};
+  std::vector<std::vector<double>> scratch;
+};
+
+/// Bind `cache` to the slab and (for the exponential form) fill scratch
+/// for storage cells [cell_begin, cell_end). Call with reset = true once
+/// per phase to (re)size for the current slab — then the owned range as
+/// soon as densities exist, and the two halo planes (reset = false)
+/// after the density halo was inserted.
+void force_psi_prepare(Slab& slab, ForcePsiCache& cache, index_t cell_begin,
+                       index_t cell_end, bool reset);
+
+/// Force/velocity for the slices [run_begin, run_end) of
+/// plan.force_interior() and [cell_begin, cell_end) of
+/// plan.force_boundary(). Each cell writes only its own ueq / total
+/// density / velocity entries, so disjoint slices may run concurrently.
+/// The caller guarantees every psi value the slice gathers is ready
+/// (inner-plane slices need owned psi only; edge-plane slices need the
+/// halo planes too — see StreamingPlan::force_*_inner_*).
+void compute_forces_plan_range(Slab& slab, const ForcePsiCache& cache,
+                               std::size_t run_begin, std::size_t run_end,
+                               std::size_t cell_begin, std::size_t cell_end);
+
 }  // namespace slipflow::lbm

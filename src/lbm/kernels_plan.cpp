@@ -68,7 +68,9 @@ void collide_boundary_planes(Slab& slab) {
   }
 }
 
-void fused_collide_stream(Slab& slab) {
+void fused_collide_stream_range(Slab& slab, std::size_t run_begin,
+                                std::size_t run_end, std::size_t cell_begin,
+                                std::size_t cell_end) {
   const StreamingPlan& plan = slab.plan();
   index_t off[kQ];
   for (int d = 0; d < kQ; ++d) off[d] = plan.dir_offset(d);
@@ -84,6 +86,7 @@ void fused_collide_stream(Slab& slab) {
     const MrtRates rates = MrtRates::for_tau(cp.tau);
     const double inv_tau = 1.0 / cp.tau;
 
+    // Scratch is local so disjoint slices can run on pool threads.
     double fin[kQ], fout[kQ];
     const auto collide_one = [&](index_t cell) {
       if (mrt) {
@@ -99,7 +102,9 @@ void fused_collide_stream(Slab& slab) {
     // the cells collide_boundary_planes already handled only when a run
     // touches them, which it never does (plane 1 / nx_local cells are
     // never stream-interior).
-    for (const InteriorRun& r : plan.stream_interior()) {
+    const auto& runs = plan.stream_interior();
+    for (std::size_t ri = run_begin; ri < run_end; ++ri) {
+      const InteriorRun& r = runs[ri];
       for (index_t i = 0; i < r.count; ++i) {
         const index_t cell = r.cell + i;
         collide_one(cell);
@@ -112,7 +117,9 @@ void fused_collide_stream(Slab& slab) {
     // back at the cell itself with the moving-wall correction term's
     // c·u_wall baked in at plan-build time.
     const auto& links = plan.links();
-    for (const StreamBoundaryCell& b : plan.stream_boundary()) {
+    const auto& bcells = plan.stream_boundary();
+    for (std::size_t bi = cell_begin; bi < cell_end; ++bi) {
+      const StreamBoundaryCell& b = bcells[bi];
       collide_one(b.cell);
       fp.at(0, b.cell) = fout[0];
       for (std::uint32_t l = b.link_begin; l < b.link_end; ++l) {
@@ -123,9 +130,15 @@ void fused_collide_stream(Slab& slab) {
         fp.at(lk.dest_dir, lk.dest) = v;
       }
     }
+  }
+}
 
+void fused_collide_stream_finish(Slab& slab) {
+  const StreamingPlan& plan = slab.plan();
+  for (std::size_t c = 0; c < slab.num_components(); ++c) {
     // Populations arriving from the x-neighbors: plain copies out of the
     // exchanged halo planes (disjoint from every slot the pushes wrote).
+    DistField& fp = slab.f_post(c);
     for (const HaloPull& h : plan.halo_pulls())
       fp.at(h.dir, h.dest) = fp.at(h.dir, h.src);
   }
@@ -140,38 +153,55 @@ void fused_collide_stream(Slab& slab) {
   }
 }
 
-void compute_forces_and_velocity_plan(Slab& slab) {
+void fused_collide_stream(Slab& slab) {
+  const StreamingPlan& plan = slab.plan();
+  fused_collide_stream_range(slab, 0, plan.stream_interior().size(), 0,
+                             plan.stream_boundary().size());
+  fused_collide_stream_finish(slab);
+}
+
+void force_psi_prepare(Slab& slab, ForcePsiCache& cache, index_t cell_begin,
+                       index_t cell_end, bool reset) {
+  const std::size_t nc = slab.num_components();
+  SLIPFLOW_REQUIRE(nc <= 8);
+  // psi cache: for the paper's psi = n the density storage *is* the
+  // cache; for the exponential form evaluate 1 - exp(-n) once per cell
+  // per step instead of once per neighbor read (the legacy kernel pays
+  // up to 18 exp calls per cell).
+  if (slab.params().psi_form != PsiForm::shan_chen) {
+    if (reset)
+      for (std::size_t c = 0; c < nc; ++c)
+        cache.psi[c] = slab.density(c).data().data();
+    return;
+  }
+  if (reset) cache.scratch.resize(nc);
+  for (std::size_t c = 0; c < nc; ++c) {
+    std::span<const double> n = slab.density(c).data();
+    auto& s = cache.scratch[c];
+    if (reset) {
+      s.resize(n.size());
+      cache.psi[c] = s.data();
+    }
+    for (index_t i = cell_begin; i < cell_end; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      s[u] = 1.0 - std::exp(-n[u]);
+    }
+  }
+}
+
+void compute_forces_plan_range(Slab& slab, const ForcePsiCache& cache,
+                               std::size_t run_begin, std::size_t run_end,
+                               std::size_t cell_begin, std::size_t cell_end) {
   const StreamingPlan& plan = slab.plan();
   const FluidParams& prm = slab.params();
   const std::size_t nc = slab.num_components();
   SLIPFLOW_REQUIRE(nc <= 8);
   const index_t nz = slab.storage().nz;
   const bool patterned = static_cast<bool>(prm.wall_pattern);
-  const bool psi_exp = prm.psi_form == PsiForm::shan_chen;
+  const std::array<const double*, 8>& psi = cache.psi;
 
   index_t off[kQ];
   for (int d = 0; d < kQ; ++d) off[d] = plan.dir_offset(d);
-
-  // psi cache: for the paper's psi = n the density storage *is* the
-  // cache; for the exponential form evaluate 1 - exp(-n) once per cell
-  // per step instead of once per neighbor read (the legacy kernel pays
-  // up to 18 exp calls per cell).
-  static thread_local std::vector<std::vector<double>> psi_scratch;
-  std::array<const double*, 8> psi{};
-  if (psi_exp) {
-    psi_scratch.resize(nc);
-    for (std::size_t c = 0; c < nc; ++c) {
-      std::span<const double> n = slab.density(c).data();
-      auto& s = psi_scratch[c];
-      s.resize(n.size());
-      for (std::size_t i = 0; i < n.size(); ++i)
-        s[i] = 1.0 - std::exp(-n[i]);
-      psi[c] = s.data();
-    }
-  } else {
-    for (std::size_t c = 0; c < nc; ++c)
-      psi[c] = slab.density(c).data().data();
-  }
 
   // Everything after the psi gather is identical for interior and
   // boundary cells; `grad` holds the Shan-Chen neighbor sums.
@@ -247,7 +277,9 @@ void compute_forces_and_velocity_plan(Slab& slab) {
   };
 
   Vec3 grad[8];
-  for (const InteriorRun& r : plan.force_interior()) {
+  const auto& runs = plan.force_interior();
+  for (std::size_t ri = run_begin; ri < run_end; ++ri) {
+    const InteriorRun& r = runs[ri];
     for (index_t i = 0; i < r.count; ++i) {
       const index_t cell = r.cell + i;
       for (std::size_t c2 = 0; c2 < nc; ++c2) {
@@ -265,7 +297,9 @@ void compute_forces_and_velocity_plan(Slab& slab) {
     }
   }
   const auto& nbrs = plan.force_neighbors();
-  for (const ForceBoundaryCell& b : plan.force_boundary()) {
+  const auto& bcells = plan.force_boundary();
+  for (std::size_t bi = cell_begin; bi < cell_end; ++bi) {
+    const ForceBoundaryCell& b = bcells[bi];
     for (std::size_t c2 = 0; c2 < nc; ++c2) {
       const double* ps = psi[c2];
       Vec3 g{};
@@ -281,6 +315,14 @@ void compute_forces_and_velocity_plan(Slab& slab) {
     }
     finish_cell(b.cell, b.yz, b.gx, grad);
   }
+}
+
+void compute_forces_and_velocity_plan(Slab& slab) {
+  const StreamingPlan& plan = slab.plan();
+  static thread_local ForcePsiCache cache;
+  force_psi_prepare(slab, cache, 0, slab.storage().cells(), /*reset=*/true);
+  compute_forces_plan_range(slab, cache, 0, plan.force_interior().size(), 0,
+                            plan.force_boundary().size());
 }
 
 }  // namespace slipflow::lbm

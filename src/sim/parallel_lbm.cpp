@@ -21,6 +21,14 @@ constexpr int kTagInfo = 20;
 constexpr int kTagProposal = 21;
 constexpr int kTagPlanes = 22;
 constexpr int kTagProfile = 23;
+
+/// Wire bytes of one halo exchange: one message per direction (left and
+/// right), sizeof(double) bytes per payload double.
+constexpr double kHaloMessagesPerExchange = 2.0;
+double halo_exchange_bytes(lbm::index_t doubles_per_message) {
+  return kHaloMessagesPerExchange * static_cast<double>(sizeof(double)) *
+         static_cast<double>(doubles_per_message);
+}
 }  // namespace
 
 std::pair<lbm::index_t, lbm::index_t> initial_extent(lbm::index_t planes_total,
@@ -35,38 +43,64 @@ std::pair<lbm::index_t, lbm::index_t> initial_extent(lbm::index_t planes_total,
   return {begin, mine};
 }
 
-/// Halo exchange over the periodic ring of ranks.
+/// Halo exchange over the periodic ring of ranks, split into a
+/// nonblocking post half (irecv + extract + isend, staged through two
+/// persistent per-direction buffers — no per-step allocation and no
+/// serialization of the two extractions through one scratch) and a
+/// finish half (wait + insert). The blocking exchange_* overrides are
+/// the composition, so message contents and the per-(src, tag) arrival
+/// order are identical in both step modes and across all backends.
 class ParallelLbm::RingExchanger final : public lbm::HaloExchanger {
  public:
   explicit RingExchanger(transport::Communicator& comm) : comm_(comm) {}
 
-  void exchange_f(lbm::Slab& slab) override {
-    const std::size_t bytes = static_cast<std::size_t>(slab.f_halo_doubles());
-    send_buf_.resize(bytes);
+  void post_f(lbm::Slab& slab) {
+    const auto n = static_cast<std::size_t>(slab.f_halo_doubles());
+    from_left_ = comm_.irecv(left_peer(), kTagFRight);
+    from_right_ = comm_.irecv(right_peer(), kTagFLeft);
     // my right-boundary populations travel rightward to my right peer
-    slab.extract_f_halo(lbm::Side::right, send_buf_);
-    comm_.send(right_peer(), kTagFRight, send_buf_);
-    slab.extract_f_halo(lbm::Side::left, send_buf_);
-    comm_.send(left_peer(), kTagFLeft, send_buf_);
-    // receive the peer messages into the matching halo planes
-    const std::vector<double> from_left = comm_.recv(left_peer(), kTagFRight);
-    slab.insert_f_halo(lbm::Side::left, from_left);
-    const std::vector<double> from_right = comm_.recv(right_peer(), kTagFLeft);
-    slab.insert_f_halo(lbm::Side::right, from_right);
+    right_buf_.resize(n);
+    slab.extract_f_halo(lbm::Side::right, right_buf_);
+    comm_.isend(right_peer(), kTagFRight, right_buf_);
+    left_buf_.resize(n);
+    slab.extract_f_halo(lbm::Side::left, left_buf_);
+    comm_.isend(left_peer(), kTagFLeft, left_buf_);
+  }
+
+  void finish_f(lbm::Slab& slab) {
+    slab.insert_f_halo(lbm::Side::left, from_left_->wait());
+    slab.insert_f_halo(lbm::Side::right, from_right_->wait());
+    from_left_.reset();
+    from_right_.reset();
+  }
+
+  void post_density(lbm::Slab& slab) {
+    const auto n = static_cast<std::size_t>(slab.density_halo_doubles());
+    from_left_ = comm_.irecv(left_peer(), kTagNRight);
+    from_right_ = comm_.irecv(right_peer(), kTagNLeft);
+    right_buf_.resize(n);
+    slab.extract_density_halo(lbm::Side::right, right_buf_);
+    comm_.isend(right_peer(), kTagNRight, right_buf_);
+    left_buf_.resize(n);
+    slab.extract_density_halo(lbm::Side::left, left_buf_);
+    comm_.isend(left_peer(), kTagNLeft, left_buf_);
+  }
+
+  void finish_density(lbm::Slab& slab) {
+    slab.insert_density_halo(lbm::Side::left, from_left_->wait());
+    slab.insert_density_halo(lbm::Side::right, from_right_->wait());
+    from_left_.reset();
+    from_right_.reset();
+  }
+
+  void exchange_f(lbm::Slab& slab) override {
+    post_f(slab);
+    finish_f(slab);
   }
 
   void exchange_density(lbm::Slab& slab) override {
-    const std::size_t bytes =
-        static_cast<std::size_t>(slab.density_halo_doubles());
-    send_buf_.resize(bytes);
-    slab.extract_density_halo(lbm::Side::right, send_buf_);
-    comm_.send(right_peer(), kTagNRight, send_buf_);
-    slab.extract_density_halo(lbm::Side::left, send_buf_);
-    comm_.send(left_peer(), kTagNLeft, send_buf_);
-    const std::vector<double> from_left = comm_.recv(left_peer(), kTagNRight);
-    slab.insert_density_halo(lbm::Side::left, from_left);
-    const std::vector<double> from_right = comm_.recv(right_peer(), kTagNLeft);
-    slab.insert_density_halo(lbm::Side::right, from_right);
+    post_density(slab);
+    finish_density(slab);
   }
 
  private:
@@ -76,12 +110,16 @@ class ParallelLbm::RingExchanger final : public lbm::HaloExchanger {
   int right_peer() const { return (comm_.rank() + 1) % comm_.size(); }
 
   transport::Communicator& comm_;
-  std::vector<double> send_buf_;
+  // Staging for the two directions' isends; every backend copies the
+  // payload before isend returns, so reusing them next phase is safe.
+  std::vector<double> right_buf_, left_buf_;
+  transport::RecvHandlePtr from_left_, from_right_;
 };
 
 ParallelLbm::ParallelLbm(RunnerConfig cfg, transport::Communicator& comm)
     : cfg_(std::move(cfg)), comm_(comm) {
   SLIPFLOW_REQUIRE(cfg_.remap_interval >= 1);
+  SLIPFLOW_REQUIRE(cfg_.threads >= 1);
   {
     auto geom = std::make_shared<lbm::ChannelGeometry>(
         cfg_.global, nullptr, cfg_.walls_y, cfg_.walls_z);
@@ -139,84 +177,23 @@ void ParallelLbm::ensure_plan() {
 
 void ParallelLbm::run(int phases) {
   SLIPFLOW_REQUIRE_MSG(initialized_, "call initialize() before run()");
-  const bool plan_path = cfg_.kernels == lbm::KernelPath::plan;
   // All timing below reads the injected clock through the profiler —
   // never util::Stopwatch — so the compute times that feed the load
   // predictor come from the same (possibly deterministic) source the
   // trace records.
   ensure_plan();
+  const bool overlap = overlap_mode();
+  if (overlap && pool_ == nullptr) {
+    pool_ = std::make_unique<util::ThreadPool>(cfg_.threads);
+    thread_cells_.assign(static_cast<std::size_t>(cfg_.threads), 0.0);
+  }
   for (int p = 1; p <= phases; ++p) {
     prof_->begin_phase(++phases_done_);
     comm_.note_progress(phases_done_);
-    const double phase_begin = prof_->now();
-
-    // --- compute: collide --- (Figure 2 line 4; the plan path only
-    // pre-collides the two exchange-facing planes here and folds the rest
-    // of the collision into the fused stream below)
-    if (plan_path)
-      lbm::collide_boundary_planes(*slab_);
+    if (overlap)
+      step_overlap();
     else
-      lbm::collide(*slab_);
-    double t = prof_->now();
-    prof_->record_span("collide", phase_begin, t);
-    double compute = t - phase_begin;
-
-    // --- communication: f halos --- (line 8)
-    double t0 = t;
-    halo_->exchange_f(*slab_);
-    t = prof_->now();
-    prof_->record_span("halo_f", t0, t);
-    prof_->add("halo_bytes", 16.0 * static_cast<double>(slab_->f_halo_doubles()));
-    stats_.comm_seconds += t - t0;
-    prof_->add("time/comm", t - t0);
-
-    // --- compute: stream + bounce-back + densities --- (lines 5,10,11)
-    t0 = t;
-    if (plan_path)
-      lbm::fused_collide_stream(*slab_);
-    else
-      lbm::stream(*slab_);
-    lbm::compute_density(*slab_);
-    t = prof_->now();
-    prof_->record_span("stream_density", t0, t);
-    compute += t - t0;
-
-    // --- communication: density halos --- (line 14)
-    t0 = t;
-    halo_->exchange_density(*slab_);
-    t = prof_->now();
-    prof_->record_span("halo_density", t0, t);
-    prof_->add("halo_bytes",
-               16.0 * static_cast<double>(slab_->density_halo_doubles()));
-    stats_.comm_seconds += t - t0;
-    prof_->add("time/comm", t - t0);
-
-    // --- compute: forces + velocity --- (lines 16,17)
-    t0 = t;
-    if (plan_path)
-      lbm::compute_forces_and_velocity_plan(*slab_);
-    else
-      lbm::compute_forces_and_velocity(*slab_);
-    t = prof_->now();
-    prof_->record_span("force_velocity", t0, t);
-    compute += t - t0;
-
-    if (slowdown_factor_ > 0.0) {
-      // emulate a node that keeps only 1/(1+s) of its CPU
-      const double extra = slowdown_factor_ * compute;
-      std::this_thread::sleep_for(std::chrono::duration<double>(extra));
-      prof_->record_span("slowdown", t, prof_->now());
-      compute += extra;
-    }
-    stats_.compute_seconds += compute;
-    prof_->add("time/compute", compute);
-    prof_->observe("phase_seconds", prof_->now() - phase_begin);
-    balancer_->record_phase(std::max(compute, 1e-9), slab_->owned_cells());
-
-    const double phase_cells = static_cast<double>(
-        plan_path ? slab_->plan().fluid_cells() : slab_->owned_cells());
-    cells_updated_ += phase_cells;
-    prof_->add("cells_updated", phase_cells);
+      step_blocking();
 
     // --- lattice point remapping --- (lines 20-32)
     if (cfg_.policy != "none" && p % cfg_.remap_interval == 0) {
@@ -238,6 +215,233 @@ void ParallelLbm::run(int phases) {
   prof_->set("phases_done", static_cast<double>(phases_done_));
   if (stats_.compute_seconds > 0.0)
     prof_->set("mlups", cells_updated_ / stats_.compute_seconds / 1e6);
+  if (overlap) {
+    // The efficiency of the overlap: of the time the phase had to cover
+    // communication, the fraction spent computing (halo waits are the
+    // comm that compute could not hide).
+    const double window = interior_seconds_ + halo_wait_seconds_;
+    if (window > 0.0)
+      prof_->set("overlap_efficiency", interior_seconds_ / window);
+    // Per-lane fold of the threaded sweeps, published from the owning
+    // thread (lanes never touch the registry themselves).
+    for (std::size_t lane = 0; lane < thread_cells_.size(); ++lane) {
+      if (thread_cells_[lane] == 0.0) continue;
+      prof_->add("thread/" + std::to_string(lane) + "/cells_updated",
+                 thread_cells_[lane]);
+      thread_cells_[lane] = 0.0;
+    }
+  }
+}
+
+void ParallelLbm::finish_phase(double phase_begin, double t, double compute) {
+  if (slowdown_factor_ > 0.0) {
+    // emulate a node that keeps only 1/(1+s) of its CPU
+    const double extra = slowdown_factor_ * compute;
+    std::this_thread::sleep_for(std::chrono::duration<double>(extra));
+    prof_->record_span("slowdown", t, prof_->now());
+    compute += extra;
+  }
+  stats_.compute_seconds += compute;
+  prof_->add("time/compute", compute);
+  prof_->observe("phase_seconds", prof_->now() - phase_begin);
+  balancer_->record_phase(std::max(compute, 1e-9), slab_->owned_cells());
+
+  const double phase_cells =
+      static_cast<double>(cfg_.kernels == lbm::KernelPath::plan
+                              ? slab_->plan().fluid_cells()
+                              : slab_->owned_cells());
+  cells_updated_ += phase_cells;
+  prof_->add("cells_updated", phase_cells);
+}
+
+void ParallelLbm::step_blocking() {
+  const bool plan_path = cfg_.kernels == lbm::KernelPath::plan;
+  const double phase_begin = prof_->now();
+
+  // --- compute: collide --- (Figure 2 line 4; the plan path only
+  // pre-collides the two exchange-facing planes here and folds the rest
+  // of the collision into the fused stream below)
+  if (plan_path)
+    lbm::collide_boundary_planes(*slab_);
+  else
+    lbm::collide(*slab_);
+  double t = prof_->now();
+  prof_->record_span("collide", phase_begin, t);
+  double compute = t - phase_begin;
+
+  // --- communication: f halos --- (line 8)
+  double t0 = t;
+  halo_->exchange_f(*slab_);
+  t = prof_->now();
+  prof_->record_span("halo_f", t0, t);
+  prof_->add("halo_bytes", halo_exchange_bytes(slab_->f_halo_doubles()));
+  stats_.comm_seconds += t - t0;
+  prof_->add("time/comm", t - t0);
+
+  // --- compute: stream + bounce-back + densities --- (lines 5,10,11)
+  t0 = t;
+  if (plan_path)
+    lbm::fused_collide_stream(*slab_);
+  else
+    lbm::stream(*slab_);
+  lbm::compute_density(*slab_);
+  t = prof_->now();
+  prof_->record_span("stream_density", t0, t);
+  compute += t - t0;
+
+  // --- communication: density halos --- (line 14)
+  t0 = t;
+  halo_->exchange_density(*slab_);
+  t = prof_->now();
+  prof_->record_span("halo_density", t0, t);
+  prof_->add("halo_bytes",
+             halo_exchange_bytes(slab_->density_halo_doubles()));
+  stats_.comm_seconds += t - t0;
+  prof_->add("time/comm", t - t0);
+
+  // --- compute: forces + velocity --- (lines 16,17)
+  t0 = t;
+  if (plan_path)
+    lbm::compute_forces_and_velocity_plan(*slab_);
+  else
+    lbm::compute_forces_and_velocity(*slab_);
+  t = prof_->now();
+  prof_->record_span("force_velocity", t0, t);
+  compute += t - t0;
+
+  finish_phase(phase_begin, t, compute);
+}
+
+void ParallelLbm::step_overlap() {
+  lbm::Slab& slab = *slab_;
+  const lbm::StreamingPlan& plan = slab.plan();
+  const lbm::index_t nxl = slab.nx_local();
+  const lbm::index_t pc = slab.storage().plane_cells();
+  const double phase_begin = prof_->now();
+
+  // --- collide the exchange-facing planes --- (their post-collision
+  // populations are the f-halo payload, so they must exist first)
+  lbm::collide_boundary_planes(slab);
+  double t = prof_->now();
+  prof_->record_span("collide", phase_begin, t);
+  double compute = t - phase_begin;
+  double comm = 0.0, interior = 0.0, halo_wait = 0.0;
+
+  // --- post the f halos --- irecvs, then extract + isend both planes
+  double t0 = t;
+  halo_->post_f(slab);
+  t = prof_->now();
+  prof_->record_span("halo_post_f", t0, t);
+  comm += t - t0;
+  prof_->add("halo_bytes", halo_exchange_bytes(slab.f_halo_doubles()));
+
+  // --- the collide+stream sweep, threaded, while frames fly --- every
+  // stream cell (boundary ones included) reads owned state only and owns
+  // a disjoint set of f_post slots; the exchanged planes enter the phase
+  // through the finish pulls below, never here.
+  t0 = t;
+  const auto& sruns = plan.stream_interior();
+  const std::size_t nruns = sruns.size();
+  const std::size_t nbound = plan.stream_boundary().size();
+  pool_->run([&](int lane, int lanes) {
+    const auto [rb, re] = util::ThreadPool::slice(nruns, lane, lanes);
+    const auto [cb, ce] = util::ThreadPool::slice(nbound, lane, lanes);
+    lbm::fused_collide_stream_range(slab, rb, re, cb, ce);
+    double cells = static_cast<double>(ce - cb);
+    for (std::size_t ri = rb; ri < re; ++ri)
+      cells += static_cast<double>(sruns[ri].count);
+    thread_cells_[static_cast<std::size_t>(lane)] += cells;
+  });
+  t = prof_->now();
+  prof_->record_span("interior_stream", t0, t);
+  compute += t - t0;
+  interior += t - t0;
+
+  // --- wait for the neighbor planes ---
+  t0 = t;
+  halo_->finish_f(slab);
+  t = prof_->now();
+  prof_->record_span("halo_wait_f", t0, t);
+  comm += t - t0;
+  halo_wait += t - t0;
+
+  // --- finish streaming (halo pulls, swap, solids) and the densities of
+  // the exchange-facing planes — the payload of the second exchange
+  t0 = t;
+  lbm::fused_collide_stream_finish(slab);
+  lbm::compute_density_planes(slab, 1, 2);
+  if (nxl > 1) lbm::compute_density_planes(slab, nxl, nxl + 1);
+  t = prof_->now();
+  prof_->record_span("boundary_stream", t0, t);
+  compute += t - t0;
+
+  // --- post the density halos ---
+  t0 = t;
+  halo_->post_density(slab);
+  t = prof_->now();
+  prof_->record_span("halo_post_density", t0, t);
+  comm += t - t0;
+  prof_->add("halo_bytes", halo_exchange_bytes(slab.density_halo_doubles()));
+
+  // --- inner densities + owned psi + the inner force sweep --- the
+  // force cells of planes [2, nx_local-1] gather psi from owned planes
+  // only, so the whole chain runs while the density halo is in flight.
+  t0 = t;
+  if (nxl > 2) {
+    const auto inner_planes = static_cast<std::size_t>(nxl - 2);
+    pool_->run([&](int lane, int lanes) {
+      const auto [pb, pe] = util::ThreadPool::slice(inner_planes, lane, lanes);
+      if (pb < pe)
+        lbm::compute_density_planes(slab,
+                                    2 + static_cast<lbm::index_t>(pb),
+                                    2 + static_cast<lbm::index_t>(pe));
+    });
+  }
+  lbm::force_psi_prepare(slab, psi_cache_, pc, (nxl + 1) * pc,
+                         /*reset=*/true);
+  const std::size_t fi_b = plan.force_interior_inner_begin();
+  const std::size_t fi_n = plan.force_interior_inner_end() - fi_b;
+  const std::size_t fb_b = plan.force_boundary_inner_begin();
+  const std::size_t fb_n = plan.force_boundary_inner_end() - fb_b;
+  pool_->run([&](int lane, int lanes) {
+    const auto [rb, re] = util::ThreadPool::slice(fi_n, lane, lanes);
+    const auto [cb, ce] = util::ThreadPool::slice(fb_n, lane, lanes);
+    lbm::compute_forces_plan_range(slab, psi_cache_, fi_b + rb, fi_b + re,
+                                   fb_b + cb, fb_b + ce);
+  });
+  t = prof_->now();
+  prof_->record_span("interior_force", t0, t);
+  compute += t - t0;
+  interior += t - t0;
+
+  // --- wait for the neighbor densities ---
+  t0 = t;
+  halo_->finish_density(slab);
+  t = prof_->now();
+  prof_->record_span("halo_wait_density", t0, t);
+  comm += t - t0;
+  halo_wait += t - t0;
+
+  // --- halo psi + the edge force planes (1 and nx_local) ---
+  t0 = t;
+  lbm::force_psi_prepare(slab, psi_cache_, 0, pc, /*reset=*/false);
+  lbm::force_psi_prepare(slab, psi_cache_, (nxl + 1) * pc, (nxl + 2) * pc,
+                         /*reset=*/false);
+  lbm::compute_forces_plan_range(slab, psi_cache_, 0, fi_b, 0, fb_b);
+  lbm::compute_forces_plan_range(slab, psi_cache_, fi_b + fi_n,
+                                 plan.force_interior().size(), fb_b + fb_n,
+                                 plan.force_boundary().size());
+  t = prof_->now();
+  prof_->record_span("boundary_force", t0, t);
+  compute += t - t0;
+
+  stats_.comm_seconds += comm;
+  prof_->add("time/comm", comm);
+  interior_seconds_ += interior;
+  halo_wait_seconds_ += halo_wait;
+  prof_->add("time/interior", interior);
+  prof_->add("time/halo_wait", halo_wait);
+  finish_phase(phase_begin, t, compute);
 }
 
 void ParallelLbm::remap_step() {

@@ -18,12 +18,30 @@
 #include <vector>
 
 #include "balance/remapper.hpp"
+#include "lbm/kernels.hpp"
 #include "lbm/observables.hpp"
 #include "lbm/simulation.hpp"
 #include "obs/profiler.hpp"
 #include "transport/communicator.hpp"
+#include "util/thread_pool.hpp"
 
 namespace slipflow::sim {
+
+/// Per-phase schedule of ParallelLbm.
+enum class StepMode {
+  /// The legacy sequence: each exchange blocks between compute stages
+  /// (compute -> exchange_f -> compute -> exchange_density -> compute).
+  blocking,
+  /// Communication/computation overlap: post each halo exchange
+  /// (irecv + extract + isend), run the halo-independent bulk of the
+  /// phase — across the rank's thread pool — while frames are in
+  /// flight, then wait() and finish the halo-dependent remainder.
+  /// Physics is bit-identical to blocking for any thread count (every
+  /// lattice slot is written exactly once per phase either way).
+  /// Requires the plan kernel path; with legacy kernels the runner
+  /// silently steps blocking.
+  overlap,
+};
 
 struct RunnerConfig {
   lbm::Extents global;
@@ -39,6 +57,13 @@ struct RunnerConfig {
   /// is bit-identical to legacy; rebuilds of the streaming plan after a
   /// migration are timed under the "plan" span, outside "remap".
   lbm::KernelPath kernels = lbm::KernelPath::plan;
+  /// Step schedule; see StepMode. Overlap is the default for the same
+  /// reason the plan path is: bit-identical results, faster wall clock.
+  StepMode step = StepMode::overlap;
+  /// Lanes of the per-rank thread pool that sweeps the overlap phases'
+  /// halo-independent bulk. 1 = no extra threads. Results are
+  /// bit-identical for any value (static write-disjoint partition).
+  int threads = 1;
   /// Remap policy name: "none", "conservative", "filtered", "global".
   std::string policy = "none";
   /// Phases between remapping checks.
@@ -130,6 +155,24 @@ class ParallelLbm {
   /// remap-cost story stays honest.
   void ensure_plan();
 
+  /// Overlap applies only to the plan kernel path (legacy kernels have
+  /// no interior/boundary split to hide communication behind).
+  bool overlap_mode() const {
+    return cfg_.step == StepMode::overlap &&
+           cfg_.kernels == lbm::KernelPath::plan;
+  }
+
+  /// One phase of the legacy blocking schedule (spans: collide, halo_f,
+  /// stream_density, halo_density, force_velocity).
+  void step_blocking();
+  /// One phase of the overlap schedule (spans: collide, halo_post_f,
+  /// interior_stream, halo_wait_f, boundary_stream, halo_post_density,
+  /// interior_force, halo_wait_density, boundary_force).
+  void step_overlap();
+  /// Injected slowdown + the per-phase stats/metrics epilogue shared by
+  /// both schedules. `t` = the clock reading that closed the last span.
+  void finish_phase(double phase_begin, double t, double compute);
+
   void remap_step();
   void remap_local();
   void remap_global();
@@ -157,6 +200,16 @@ class ParallelLbm {
   double cells_updated_ = 0.0;  ///< fluid-cell updates, for the MLUPS gauge
   long long phases_done_ = 0;
   bool initialized_ = false;
+
+  // Overlap-mode state: the pool is created on the first overlapped
+  // run(); per-lane cell counts and the interior/halo-wait split feed
+  // the thread/<t>/cells_updated counters and the overlap_efficiency
+  // gauge published at the end of each run().
+  std::unique_ptr<util::ThreadPool> pool_;
+  lbm::ForcePsiCache psi_cache_;
+  std::vector<double> thread_cells_;
+  double interior_seconds_ = 0.0;
+  double halo_wait_seconds_ = 0.0;
 };
 
 /// Convenience: the initial even decomposition (same rule as the virtual

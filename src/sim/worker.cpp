@@ -89,6 +89,16 @@ int worker_main(int argc, const char* const* argv) {
   cfg.remap_interval = static_cast<int>(opts.get("remap-interval", 5LL));
   cfg.balance.window = static_cast<int>(opts.get("window", 3LL));
   cfg.balance.min_transfer_points = opts.get("min-transfer", 24LL);
+  cfg.threads = static_cast<int>(opts.get("threads", 1LL));
+  const std::string step = opts.get("step", std::string("overlap"));
+  if (step == "blocking") {
+    cfg.step = StepMode::blocking;
+  } else if (step == "overlap") {
+    cfg.step = StepMode::overlap;
+  } else {
+    std::fprintf(stderr, "rank %d: unknown --step=%s\n", rank, step.c_str());
+    return 2;
+  }
   const int phases = static_cast<int>(opts.get("phases", 40LL));
   const int slow_rank = static_cast<int>(opts.get("slow-rank", -1LL));
   const double slow_factor = opts.get("slow-factor", 0.0);

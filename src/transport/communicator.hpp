@@ -20,6 +20,7 @@
 /// byte-identical across all backends.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -64,6 +65,31 @@ struct CommOptions {
   double recv_timeout = 0.0;
 };
 
+/// Pending nonblocking receive posted with Communicator::irecv.
+///
+/// test() is a nonblocking probe: it drives whatever progress the
+/// backend needs (SocketComm pumps its poll() engine with a zero
+/// timeout), claims the oldest matching message if one has arrived, and
+/// returns whether the receive is complete. Once it has returned true it
+/// stays true. wait() blocks until completion and returns the payload;
+/// it honors the communicator's recv_timeout and throws the same
+/// comm_timeout / comm_error diagnostics (naming src and tag) as a
+/// blocking recv would. wait() may be called without ever calling
+/// test(), and consumes the handle: a second wait() is a caller bug.
+///
+/// Handles claim messages in FIFO order per (src, tag), so posting at
+/// most one outstanding handle per (src, tag) keeps ordering identical
+/// to a sequence of blocking recvs. The handle must not outlive its
+/// communicator and is used from the owning rank's thread only.
+class RecvHandle {
+ public:
+  virtual ~RecvHandle() = default;
+  virtual bool test() = 0;
+  virtual std::vector<double> wait() = 0;
+};
+
+using RecvHandlePtr = std::unique_ptr<RecvHandle>;
+
 /// One rank's endpoint. Implementations must be usable concurrently from
 /// the owning rank's thread only.
 class Communicator {
@@ -78,6 +104,20 @@ class Communicator {
 
   /// Blocking receive of the oldest matching message from (src, tag).
   virtual std::vector<double> recv(int src, int tag) = 0;
+
+  /// Nonblocking send. Every backend's send() already copies the payload
+  /// before returning (buffered/eager semantics), so the default simply
+  /// forwards; `data` may be reused or overwritten as soon as the call
+  /// returns. Exists so call sites can state intent and so a future
+  /// backend with truly deferred sends has a seam to implement it.
+  virtual void isend(int dest, int tag, std::span<const double> data) {
+    send(dest, tag, data);
+  }
+
+  /// Post a nonblocking receive for the oldest message from (src, tag)
+  /// not yet claimed by recv() or another handle. See RecvHandle for the
+  /// completion contract. Matching is FIFO per (src, tag).
+  virtual RecvHandlePtr irecv(int src, int tag) = 0;
 
   /// Block until every rank reached the barrier.
   virtual void barrier() = 0;

@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "transport/frame.hpp"
+#include "transport/tempdir.hpp"
 #include "util/require.hpp"
 
 namespace slipflow::transport {
@@ -68,10 +69,7 @@ LaunchResult launch_workers(const LaunchConfig& cfg) {
   std::string dir = cfg.dir;
   bool own_dir = false;
   if (dir.empty()) {
-    char tmpl[] = "/tmp/slipflow.XXXXXX";
-    const char* made = ::mkdtemp(tmpl);
-    if (made == nullptr) throw_errno("mkdtemp");
-    dir = made;
+    dir = make_socket_temp_dir();
     own_dir = true;
   }
   const std::string monitor_path = dir + "/monitor.sock";

@@ -32,7 +32,7 @@ struct LaunchConfig {
   /// followed by extra_args[R], so per-rank fault flags go there.
   std::vector<std::string> worker_command;
   /// Socket directory shared by the workers; empty = fresh mkdtemp under
-  /// /tmp, removed when the launch returns.
+  /// $TMPDIR (falling back to /tmp), removed when the launch returns.
   std::string dir;
   double heartbeat_interval = 0.25;
   /// A worker whose latest beat is older than this fails the run

@@ -34,6 +34,11 @@ class SerialComm final : public Communicator {
     return out;
   }
 
+  RecvHandlePtr irecv(int src, int tag) override {
+    SLIPFLOW_REQUIRE(src == 0);
+    return std::make_unique<Handle>(*this, tag);
+  }
+
   void barrier() override {}
 
   std::vector<double> allgather(std::span<const double> mine) override {
@@ -45,6 +50,36 @@ class SerialComm final : public Communicator {
   double allreduce_max(double x) override { return x; }
 
  private:
+  /// Self-receives complete as soon as the matching self-send lands in
+  /// the mailbox. wait() on a still-empty mailbox reuses recv()'s
+  /// would-deadlock diagnostic: with one rank nobody else can ever send.
+  class Handle final : public RecvHandle {
+   public:
+    Handle(SerialComm& comm, int tag) : comm_(comm), tag_(tag) {}
+
+    bool test() override {
+      if (done_) return true;
+      auto it = comm_.mail_.find(tag_);
+      if (it == comm_.mail_.end() || it->second.empty()) return false;
+      payload_ = std::move(it->second.front());
+      it->second.pop_front();
+      done_ = true;
+      return true;
+    }
+
+    std::vector<double> wait() override {
+      if (!test()) payload_ = comm_.recv(0, tag_);  // throws the diagnostic
+      done_ = true;
+      return std::move(payload_);
+    }
+
+   private:
+    SerialComm& comm_;
+    int tag_;
+    bool done_ = false;
+    std::vector<double> payload_;
+  };
+
   std::map<int, std::deque<std::vector<double>>> mail_;
 };
 

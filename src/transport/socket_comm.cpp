@@ -20,6 +20,7 @@
 #include <thread>
 
 #include "transport/frame.hpp"
+#include "transport/tempdir.hpp"
 
 namespace slipflow::transport {
 
@@ -452,12 +453,15 @@ void SocketComm::progress(double max_wait_seconds) {
     ranks.push_back(s);
   }
   if (pfds.empty()) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(std::min(max_wait_seconds, 0.01)));
+    if (max_wait_seconds > 0.0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(std::min(max_wait_seconds, 0.01)));
     return;
   }
   const int timeout_ms =
-      std::max(1, static_cast<int>(max_wait_seconds * 1000.0));
+      max_wait_seconds <= 0.0
+          ? 0
+          : std::max(1, static_cast<int>(max_wait_seconds * 1000.0));
   const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
   if (rc < 0) {
     if (errno == EINTR) return;
@@ -477,18 +481,23 @@ void SocketComm::throw_closed(int src, int tag) const {
                    ", tag=" + std::to_string(tag) + ")");
 }
 
+bool SocketComm::try_pop(int src, int tag, std::vector<double>& out) {
+  const auto it = mail_.find({src, tag});
+  if (it == mail_.end() || it->second.empty()) return false;
+  out = std::move(it->second.front());
+  it->second.pop_front();
+  return true;
+}
+
 std::vector<double> SocketComm::recv(int src, int tag) {
   SLIPFLOW_REQUIRE(src >= 0 && src < cfg_.nranks);
   const double t0 = mono_now();
   const double timeout = cfg_.comm.recv_timeout;
   const double deadline =
       timeout > 0.0 ? t0 + timeout : std::numeric_limits<double>::infinity();
-  const std::pair<int, int> key{src, tag};
   for (;;) {
-    const auto it = mail_.find(key);
-    if (it != mail_.end() && !it->second.empty()) {
-      std::vector<double> out = std::move(it->second.front());
-      it->second.pop_front();
+    std::vector<double> out;
+    if (try_pop(src, tag, out)) {
       stats_.recv_wait_seconds += mono_now() - t0;
       return out;
     }
@@ -505,6 +514,50 @@ std::vector<double> SocketComm::recv(int src, int tag) {
           std::to_string(src) + ", tag=" + std::to_string(tag) + ")");
     progress(std::min(0.1, deadline - now));
   }
+}
+
+/// Completion = the matching frame has been drained into the mailbox.
+/// test() makes progress (one zero-timeout poll pass) before giving up,
+/// so a rank that only ever calls test() between compute chunks still
+/// flushes its outboxes and drains arrivals. A dead peer surfaces from
+/// test() as the same named comm_error a blocking recv would throw; a
+/// pending self-receive just stays incomplete (the matching self-send
+/// may come later from this same thread).
+class SocketComm::Handle final : public RecvHandle {
+ public:
+  Handle(SocketComm& comm, int src, int tag)
+      : comm_(comm), src_(src), tag_(tag) {}
+
+  bool test() override {
+    if (done_) return true;
+    if (comm_.try_pop(src_, tag_, payload_)) return done_ = true;
+    if (src_ != comm_.cfg_.rank) {
+      comm_.progress(0.0);
+      if (comm_.try_pop(src_, tag_, payload_)) return done_ = true;
+      if (comm_.peers_[static_cast<std::size_t>(src_)].closed)
+        comm_.throw_closed(src_, tag_);
+    }
+    return false;
+  }
+
+  std::vector<double> wait() override {
+    if (!done_) {
+      payload_ = comm_.recv(src_, tag_);
+      done_ = true;
+    }
+    return std::move(payload_);
+  }
+
+ private:
+  SocketComm& comm_;
+  const int src_, tag_;
+  bool done_ = false;
+  std::vector<double> payload_;
+};
+
+RecvHandlePtr SocketComm::irecv(int src, int tag) {
+  SLIPFLOW_REQUIRE(src >= 0 && src < cfg_.nranks);
+  return std::make_unique<Handle>(*this, src, tag);
 }
 
 namespace {
@@ -687,10 +740,7 @@ void run_ranks_sockets(int nranks,
   std::string dir = opts.dir;
   bool own_dir = false;
   if (dir.empty()) {
-    char tmpl[] = "/tmp/slipflow.XXXXXX";
-    const char* made = ::mkdtemp(tmpl);
-    if (made == nullptr) throw_errno("mkdtemp");
-    dir = made;
+    dir = make_socket_temp_dir();
     own_dir = true;
   }
 

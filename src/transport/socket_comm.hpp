@@ -117,6 +117,10 @@ class SocketComm final : public Communicator {
 
   void send(int dest, int tag, std::span<const double> data) override;
   std::vector<double> recv(int src, int tag) override;
+  /// test() drives one zero-timeout pass of the poll() progress engine,
+  /// so posted receives complete while the caller computes; wait()
+  /// delegates to recv() and inherits its timeout/closed diagnostics.
+  RecvHandlePtr irecv(int src, int tag) override;
   void barrier() override;
   std::vector<double> allgather(std::span<const double> mine) override;
   using Communicator::allreduce_sum;  // the vector overload
@@ -131,6 +135,8 @@ class SocketComm final : public Communicator {
   void publish_stats();
 
  private:
+  class Handle;  // RecvHandle over the mailbox + progress engine
+
   struct Peer {
     int fd = -1;
     bool closed = false;
@@ -150,7 +156,10 @@ class SocketComm final : public Communicator {
   void drain_peer(int src);
   /// One bounded step of the progress engine: poll all live peers for
   /// readability (and writability where an outbox is pending).
+  /// max_wait_seconds <= 0 is a pure nonblocking pass (poll timeout 0).
   void progress(double max_wait_seconds);
+  /// Claim the oldest queued (src, tag) message, if any. No progress.
+  bool try_pop(int src, int tag, std::vector<double>& out);
   void throttle(std::size_t bytes);
   [[noreturn]] void throw_closed(int src, int tag) const;
 
@@ -182,7 +191,8 @@ struct SocketRunOptions {
   CommOptions comm;
   double connect_timeout = 10.0;
   double wall_timeout = 60.0;
-  /// Socket directory; empty = a fresh mkdtemp under /tmp, removed after.
+  /// Socket directory; empty = a fresh mkdtemp under $TMPDIR (falling
+  /// back to /tmp), removed after.
   std::string dir;
   /// Optional per-rank fault injection.
   std::function<FaultInjection(int rank)> faults;

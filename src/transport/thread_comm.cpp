@@ -55,6 +55,77 @@ struct ThreadCommShared {
 
 namespace {
 
+/// Pop the oldest message for (dst=rank, src, tag) if one is queued.
+/// Caller holds sh.mu.
+bool try_pop_locked(ThreadCommShared& sh, int rank, int src, int tag,
+                    std::vector<double>& out) {
+  const auto it = sh.mail.find({rank, src, tag});
+  if (it == sh.mail.end() || it->second.empty()) return false;
+  out = std::move(it->second.front());
+  it->second.pop_front();
+  return true;
+}
+
+/// The blocking receive shared by Endpoint::recv and RecvHandle::wait:
+/// condition-variable wait bounded by opts.recv_timeout, poison-aware,
+/// timeout diagnostic naming the pending (src, tag).
+std::vector<double> blocking_recv(ThreadCommShared& sh, int rank, int src,
+                                  int tag) {
+  std::unique_lock<std::mutex> lk(sh.mu);
+  std::vector<double> out;
+  const auto ready = [&] {
+    return sh.poisoned || try_pop_locked(sh, rank, src, tag, out);
+  };
+  const double timeout = sh.opts.recv_timeout;
+  if (timeout > 0.0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(timeout));
+    if (!sh.cv.wait_until(lk, deadline, ready))
+      throw comm_timeout(
+          "rank " + std::to_string(rank) + ": recv timeout after " +
+          std::to_string(timeout) + "s waiting for (src=" +
+          std::to_string(src) + ", tag=" + std::to_string(tag) + ")");
+  } else {
+    sh.cv.wait(lk, ready);
+  }
+  sh.check_poison_locked();
+  return out;
+}
+
+/// Completion = the matching message reached this rank's mailbox; test()
+/// claims it under the shared mutex, wait() falls back to blocking_recv
+/// so the timeout/poison diagnostics are the blocking ones verbatim.
+class ThreadRecvHandle final : public RecvHandle {
+ public:
+  ThreadRecvHandle(ThreadCommShared& sh, int rank, int src, int tag)
+      : sh_(sh), rank_(rank), src_(src), tag_(tag) {}
+
+  bool test() override {
+    if (done_) return true;
+    std::lock_guard<std::mutex> lk(sh_.mu);
+    sh_.check_poison_locked();
+    if (!try_pop_locked(sh_, rank_, src_, tag_, payload_)) return false;
+    done_ = true;
+    return true;
+  }
+
+  std::vector<double> wait() override {
+    if (!done_) {
+      payload_ = blocking_recv(sh_, rank_, src_, tag_);
+      done_ = true;
+    }
+    return std::move(payload_);
+  }
+
+ private:
+  ThreadCommShared& sh_;
+  const int rank_, src_, tag_;
+  bool done_ = false;
+  std::vector<double> payload_;
+};
+
 class Endpoint final : public Communicator {
  public:
   Endpoint(ThreadCommShared& sh, int rank) : sh_(sh), rank_(rank) {}
@@ -71,32 +142,12 @@ class Endpoint final : public Communicator {
 
   std::vector<double> recv(int src, int tag) override {
     SLIPFLOW_REQUIRE(src >= 0 && src < sh_.nranks);
-    std::unique_lock<std::mutex> lk(sh_.mu);
-    const std::tuple<int, int, int> key{rank_, src, tag};
-    const auto ready = [&] {
-      if (sh_.poisoned) return true;
-      const auto it = sh_.mail.find(key);
-      return it != sh_.mail.end() && !it->second.empty();
-    };
-    const double timeout = sh_.opts.recv_timeout;
-    if (timeout > 0.0) {
-      const auto deadline = std::chrono::steady_clock::now() +
-                            std::chrono::duration_cast<
-                                std::chrono::steady_clock::duration>(
-                                std::chrono::duration<double>(timeout));
-      if (!sh_.cv.wait_until(lk, deadline, ready))
-        throw comm_timeout(
-            "rank " + std::to_string(rank_) + ": recv timeout after " +
-            std::to_string(timeout) + "s waiting for (src=" +
-            std::to_string(src) + ", tag=" + std::to_string(tag) + ")");
-    } else {
-      sh_.cv.wait(lk, ready);
-    }
-    sh_.check_poison_locked();
-    auto& q = sh_.mail.find(key)->second;
-    std::vector<double> out = std::move(q.front());
-    q.pop_front();
-    return out;
+    return blocking_recv(sh_, rank_, src, tag);
+  }
+
+  RecvHandlePtr irecv(int src, int tag) override {
+    SLIPFLOW_REQUIRE(src >= 0 && src < sh_.nranks);
+    return std::make_unique<ThreadRecvHandle>(sh_, rank_, src, tag);
   }
 
   void barrier() override { collective({}, /*want_result=*/false); }

@@ -1,0 +1,74 @@
+#include "util/thread_pool.hpp"
+
+#include "util/require.hpp"
+
+namespace slipflow::util {
+
+ThreadPool::ThreadPool(int lanes) : lanes_(lanes) {
+  SLIPFLOW_REQUIRE_MSG(lanes >= 1, "ThreadPool: lanes must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(lanes - 1));
+  for (int lane = 1; lane < lanes; ++lane)
+    workers_.emplace_back([this, lane] { worker(lane); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_lane(int lane) {
+  try {
+    (*job_)(lane, lanes_);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (--pending_ == 0) cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::worker(int lane) {
+  long long seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    run_lane(lane);
+  }
+}
+
+void ThreadPool::run(const std::function<void(int, int)>& fn) {
+  SLIPFLOW_REQUIRE(fn != nullptr);
+  if (lanes_ == 1) {  // no pool machinery on the serial path
+    fn(0, 1);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    first_error_ = nullptr;
+    pending_ = lanes_;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  run_lane(0);  // the caller is lane 0
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    err = first_error_;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace slipflow::util

@@ -1,0 +1,74 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Persistent fork/join worker pool for the hybrid rank x thread runner.
+///
+/// One pool lives for the whole run of a rank (spawning threads per
+/// phase would dwarf the interior sweep it parallelizes). run(fn) calls
+/// fn(lane, lanes) on every lane in [0, lanes) — lane 0 on the calling
+/// thread, the rest on parked workers — and returns when all lanes
+/// finished. With lanes == 1 no threads are ever created and run() is a
+/// plain call, so the single-threaded configuration carries zero
+/// synchronization cost.
+///
+/// Determinism contract: the pool imposes no ordering between lanes, so
+/// callers must hand each lane a write-disjoint slice of the work (see
+/// slice()); under that contract results are bit-identical for any lane
+/// count because no value ever depends on which lane (or in what order)
+/// computed it. The first exception thrown by any lane is rethrown from
+/// run() after every lane finished its generation.
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace slipflow::util {
+
+class ThreadPool {
+ public:
+  /// Spawns lanes-1 workers, parked until the first run().
+  explicit ThreadPool(int lanes);
+  /// Joins the workers. Must not be called while run() is active.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int lanes() const { return lanes_; }
+
+  /// Executes fn(lane, lanes) once per lane, concurrently; blocks until
+  /// every lane returned. Not reentrant; call from one thread only.
+  void run(const std::function<void(int lane, int lanes)>& fn);
+
+  /// The half-open range lane owns when n items are split statically
+  /// across `lanes` lanes: [n*lane/lanes, n*(lane+1)/lanes). Contiguous,
+  /// disjoint, covering, and balanced to within one item.
+  static std::pair<std::size_t, std::size_t> slice(std::size_t n, int lane,
+                                                   int lanes) {
+    const std::size_t l = static_cast<std::size_t>(lane);
+    const std::size_t k = static_cast<std::size_t>(lanes);
+    return {n * l / k, n * (l + 1) / k};
+  }
+
+ private:
+  void worker(int lane);
+  void run_lane(int lane);
+
+  const int lanes_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;  ///< workers wait for a generation
+  std::condition_variable cv_done_;  ///< run() waits for completions
+  const std::function<void(int, int)>* job_ = nullptr;
+  long long generation_ = 0;   ///< bumped by run() to release workers
+  int pending_ = 0;            ///< lanes still inside the current job
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace slipflow::util

@@ -1,0 +1,205 @@
+// Communication/computation overlap: the overlapped, multithreaded step
+// schedule must be BYTE-identical to the legacy blocking one — same
+// masses, same migration history, same velocity/density profiles — for
+// every backend, rank count and thread count. Determinism rests on the
+// same injected CountingClocks as the cross-backend suite; the filtered
+// remapping policy is left ON so the comparison covers plane migrations
+// and the plan rebuilds they force mid-run.
+//
+// Naming note: tests that fork socket children carry "Socket" in their
+// name so the TSan CI job can exclude them (fork + TSan is unsupported).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "sim/worker.hpp"
+#include "transport/launcher.hpp"
+#include "transport/serial_comm.hpp"
+#include "transport/thread_comm.hpp"
+
+using namespace slipflow;
+
+namespace {
+
+constexpr int kPhases = 40;
+
+/// Same lattice/remap/clock setup as the cross-backend determinism test:
+/// rank 1's clock runs 4x slower, so the filtered policy migrates planes
+/// (and rebuilds streaming plans) mid-run on multi-rank configurations.
+sim::RunnerConfig base_config(sim::StepMode step, int threads) {
+  sim::RunnerConfig cfg;
+  cfg.global = lbm::Extents{16, 6, 4};
+  cfg.fluid = lbm::FluidParams::microchannel_defaults();
+  cfg.policy = "filtered";
+  cfg.remap_interval = 5;
+  cfg.balance.window = 3;
+  cfg.balance.min_transfer_points = 24;
+  cfg.step = step;
+  cfg.threads = threads;
+  cfg.clock_factory = [](int rank) -> std::shared_ptr<obs::Clock> {
+    return std::make_shared<obs::CountingClock>(rank == 1 ? 4e-3 : 1e-3);
+  };
+  return cfg;
+}
+
+std::string run_threads(int ranks, sim::StepMode step, int threads,
+                        obs::MetricsRegistry* metrics = nullptr) {
+  sim::RunnerConfig cfg = base_config(step, threads);
+  cfg.metrics = metrics;
+  std::string observables;
+  transport::run_ranks(ranks, [&](transport::Communicator& comm) {
+    sim::ParallelLbm run(cfg, comm);
+    run.initialize_uniform();
+    run.run(kPhases);
+    const std::string obs = sim::collect_observables(run, comm, cfg.global);
+    if (comm.rank() == 0) observables = obs;
+  });
+  return observables;
+}
+
+std::string run_serial(sim::StepMode step, int threads) {
+  const sim::RunnerConfig cfg = base_config(step, threads);
+  transport::SerialComm comm;
+  sim::ParallelLbm run(cfg, comm);
+  run.initialize_uniform();
+  run.run(kPhases);
+  return sim::collect_observables(run, comm, cfg.global);
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "slipflow_" + name + "." +
+         std::to_string(::getpid());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << "missing " << path;
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+/// Fork real worker processes with the given step schedule and return
+/// rank 0's observables.
+std::string run_sockets(int ranks, const std::string& step, int threads) {
+  const std::string out = temp_path("obs_overlap_" + step);
+  transport::LaunchConfig lc;
+  lc.ranks = ranks;
+  lc.worker_command = {SLIPFLOW_WORKER_EXE,
+                       "--nx=16",
+                       "--ny=6",
+                       "--nz=4",
+                       "--phases=" + std::to_string(kPhases),
+                       "--policy=filtered",
+                       "--remap-interval=5",
+                       "--window=3",
+                       "--min-transfer=24",
+                       "--clock=counting",
+                       "--clock-step=1e-3",
+                       "--slow-clock-rank=1",
+                       "--slow-clock-factor=4",
+                       "--recv-timeout=20",
+                       "--step=" + step,
+                       "--threads=" + std::to_string(threads),
+                       "--observables-out=" + out};
+  lc.heartbeat_interval = 0.1;
+  lc.heartbeat_grace = 10.0;
+  lc.wall_clock_timeout = 90.0;
+  const transport::LaunchResult res = transport::launch_workers(lc);
+  EXPECT_TRUE(res.ok) << res.diagnostic;
+  const std::string obs = read_file(out);
+  std::remove(out.c_str());
+  return obs;
+}
+
+}  // namespace
+
+// --- single rank: overlap touches only the kernel split, no halos fly ---
+
+TEST(Overlap, SerialRankMatchesBlockingForEveryThreadCount) {
+  const std::string blocking = run_serial(sim::StepMode::blocking, 1);
+  ASSERT_FALSE(blocking.empty());
+  for (int threads : {1, 2, 4})
+    EXPECT_EQ(run_serial(sim::StepMode::overlap, threads), blocking)
+        << "overlap with " << threads << " threads diverged on SerialComm";
+}
+
+// --- thread backend: ranks x threads sweep, migrations included ---
+
+class OverlapThreadRanks : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Ranks, OverlapThreadRanks, ::testing::Values(2, 4),
+                         [](const auto& pinfo) {
+                           return "Ranks" + std::to_string(pinfo.param);
+                         });
+
+TEST_P(OverlapThreadRanks, OverlapMatchesBlockingForEveryThreadCount) {
+  const int ranks = GetParam();
+  const std::string blocking =
+      run_threads(ranks, sim::StepMode::blocking, 1);
+  ASSERT_FALSE(blocking.empty());
+  // the slowed rank must actually migrate planes, or this test would not
+  // cover the mid-run plan rebuild path
+  if (ranks == 4)
+    EXPECT_EQ(blocking.find("rank 1 planes 4 sent 0"), std::string::npos)
+        << "expected rank 1 to shed planes:\n"
+        << blocking.substr(0, 300);
+  for (int threads : {1, 2, 4})
+    EXPECT_EQ(run_threads(ranks, sim::StepMode::overlap, threads), blocking)
+        << "overlap with " << threads << " threads diverged at " << ranks
+        << " ranks";
+}
+
+// --- overlap metrics: the new counters are published and consistent ---
+
+TEST(Overlap, PublishesInteriorHaloWaitAndPerLaneCounters) {
+  constexpr int kRanks = 2, kThreads = 2;
+  obs::MetricsRegistry reg(kRanks);
+  run_threads(kRanks, sim::StepMode::overlap, kThreads, &reg);
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_GT(reg.counter(r, "time/interior"), 0.0);
+    EXPECT_GT(reg.counter(r, "time/halo_wait"), 0.0);
+    ASSERT_TRUE(reg.has_gauge(r, "overlap_efficiency"));
+    const double eff = reg.gauge(r, "overlap_efficiency");
+    EXPECT_GT(eff, 0.0);
+    EXPECT_LE(eff, 1.0);
+    // every fluid cell's collide+stream belongs to exactly one lane, so
+    // the per-lane counters partition the rank's cells_updated total
+    double lane_sum = 0.0;
+    for (int t = 0; t < kThreads; ++t)
+      lane_sum += reg.counter(r, "thread/" + std::to_string(t) +
+                                     "/cells_updated");
+    EXPECT_DOUBLE_EQ(lane_sum, reg.counter(r, "cells_updated"));
+  }
+}
+
+TEST(Overlap, BlockingModePublishesNoOverlapMetrics) {
+  obs::MetricsRegistry reg(2);
+  run_threads(2, sim::StepMode::blocking, 1, &reg);
+  EXPECT_EQ(reg.counter(0, "time/interior"), 0.0);
+  EXPECT_EQ(reg.counter(0, "time/halo_wait"), 0.0);
+  EXPECT_FALSE(reg.has_gauge(0, "overlap_efficiency"));
+}
+
+// --- real processes (named "Socket" so the TSan job can skip them) ---
+
+TEST(OverlapSocket, WorkersMatchThreadBackendByByte) {
+  const std::string socket_obs = run_sockets(4, "overlap", 2);
+  ASSERT_FALSE(socket_obs.empty());
+  EXPECT_EQ(socket_obs, run_threads(4, sim::StepMode::overlap, 2))
+      << "overlapped worker processes diverged from in-process reference";
+}
+
+TEST(OverlapSocket, BlockingFlagStillSupported) {
+  const std::string socket_obs = run_sockets(2, "blocking", 1);
+  ASSERT_FALSE(socket_obs.empty());
+  EXPECT_EQ(socket_obs, run_threads(2, sim::StepMode::blocking, 1));
+}

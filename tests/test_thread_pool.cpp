@@ -1,0 +1,101 @@
+// util::ThreadPool: the fork/join pool under the hybrid rank x thread
+// runner. The properties pinned here are exactly the ones the overlap
+// step's determinism argument leans on: slice() partitions are disjoint
+// and covering, every lane runs exactly once per generation, lanes == 1
+// never touches a thread, and a lane's exception surfaces from run().
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+using slipflow::util::ThreadPool;
+
+TEST(ThreadPoolSlice, PartitionsAreDisjointCoveringAndBalanced) {
+  for (int lanes : {1, 2, 3, 4, 7}) {
+    for (std::size_t n : {0u, 1u, 2u, 5u, 16u, 97u}) {
+      std::size_t expected_begin = 0;
+      for (int lane = 0; lane < lanes; ++lane) {
+        const auto [b, e] = ThreadPool::slice(n, lane, lanes);
+        EXPECT_EQ(b, expected_begin) << "n=" << n << " lane=" << lane;
+        EXPECT_LE(b, e);
+        // balanced to within one item
+        EXPECT_LE(e - b, n / static_cast<std::size_t>(lanes) + 1);
+        expected_begin = e;
+      }
+      EXPECT_EQ(expected_begin, n) << "slices must cover [0, n)";
+    }
+  }
+}
+
+TEST(ThreadPool, EveryLaneRunsExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.lanes(), 4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](int lane, int lanes) {
+    EXPECT_EQ(lanes, 4);
+    hits[static_cast<std::size_t>(lane)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SlicedSumMatchesSerialForAnyLaneCount) {
+  std::vector<double> data(1013);
+  std::iota(data.begin(), data.end(), 1.0);
+  const double serial = std::accumulate(data.begin(), data.end(), 0.0);
+  for (int lanes : {1, 2, 4}) {
+    ThreadPool pool(lanes);
+    std::vector<double> partial(static_cast<std::size_t>(lanes), 0.0);
+    pool.run([&](int lane, int k) {
+      const auto [b, e] = ThreadPool::slice(data.size(), lane, k);
+      for (std::size_t i = b; i < e; ++i)
+        partial[static_cast<std::size_t>(lane)] += data[i];
+    });
+    // per-lane partials fold deterministically in lane order
+    double total = 0.0;
+    for (double p : partial) total += p;
+    EXPECT_DOUBLE_EQ(total, serial) << lanes << " lanes";
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossManyGenerations) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int gen = 0; gen < 200; ++gen)
+    pool.run([&](int, int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 600);
+}
+
+TEST(ThreadPool, LaneExceptionRethrownFromRun) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run([](int lane, int) {
+                 if (lane == 1) throw std::runtime_error("lane 1 failed");
+               }),
+               std::runtime_error);
+  // the pool survives the failed generation
+  std::atomic<int> ok{0};
+  pool.run([&](int, int) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 2);
+}
+
+TEST(ThreadPool, CallerExceptionAlsoSurfaces) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run([](int lane, int) {
+                 if (lane == 0) throw std::runtime_error("lane 0 failed");
+               }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SingleLaneRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  pool.run([&](int lane, int lanes) {
+    EXPECT_EQ(lane, 0);
+    EXPECT_EQ(lanes, 1);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}

@@ -242,6 +242,127 @@ TEST_P(TransportSuite, RecvTimeoutNamesPendingSourceAndTag) {
       opts);
 }
 
+// --- Nonblocking point-to-point (isend / irecv handles) ---
+
+TEST_P(TransportSuite, IsendIrecvDelivers) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(2);
+  run_backend(GetParam(), 2, [](Communicator& c) {
+    if (c.rank() == 0) {
+      c.isend(1, 7, std::vector<double>{1.5, 2.5});
+    } else {
+      auto h = c.irecv(0, 7);
+      EXPECT_EQ(h->wait(), (std::vector<double>{1.5, 2.5}));
+    }
+  });
+}
+
+TEST_P(TransportSuite, IsendCopiesThePayloadEagerly) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(2);
+  // The staging contract RingExchanger relies on: the buffer handed to
+  // isend may be reused the moment the call returns.
+  run_backend(GetParam(), 2, [](Communicator& c) {
+    if (c.rank() == 0) {
+      std::vector<double> buf{10.0, 20.0};
+      c.isend(1, 1, buf);
+      buf.assign({-1.0, -2.0});  // must not retroactively alter message 1
+      c.isend(1, 2, buf);
+    } else {
+      EXPECT_EQ(c.irecv(0, 1)->wait(), (std::vector<double>{10.0, 20.0}));
+      EXPECT_EQ(c.irecv(0, 2)->wait(), (std::vector<double>{-1.0, -2.0}));
+    }
+  });
+}
+
+TEST_P(TransportSuite, IrecvHandlesCompleteOutOfPostOrder) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(2);
+  // Waiting on the later-posted handle first must not deadlock or
+  // misdeliver: each handle owns its (src, tag) channel independently.
+  run_backend(GetParam(), 2, [](Communicator& c) {
+    if (c.rank() == 0) {
+      c.isend(1, 11, std::vector<double>{11.0});
+      c.isend(1, 22, std::vector<double>{22.0});
+    } else {
+      auto first = c.irecv(0, 11);
+      auto second = c.irecv(0, 22);
+      EXPECT_EQ(second->wait(), std::vector<double>{22.0});
+      EXPECT_EQ(first->wait(), std::vector<double>{11.0});
+    }
+  });
+}
+
+TEST_P(TransportSuite, IrecvTestBeforeArrivalIsFalseThenSticky) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(2);
+  if (GetParam() == Backend::kSerial)
+    GTEST_SKIP() << "single rank cannot have a not-yet-sent remote message";
+  // Go-message choreography removes the race: rank 0 does not send the
+  // payload until rank 1 has already observed test() == false.
+  run_backend(GetParam(), 2, [](Communicator& c) {
+    if (c.rank() == 0) {
+      c.recv(1, 100);  // the go signal
+      c.isend(1, 55, std::vector<double>{5.0, 5.0});
+    } else {
+      auto h = c.irecv(0, 55);
+      EXPECT_FALSE(h->test());  // nothing was sent yet
+      c.send(0, 100, std::vector<double>{});
+      while (!h->test())  // poll until the frame lands
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      EXPECT_TRUE(h->test());  // completion is sticky
+      EXPECT_EQ(h->wait(), (std::vector<double>{5.0, 5.0}));
+    }
+  });
+}
+
+TEST_P(TransportSuite, IrecvSameTagPreservesFifo) {
+  SLIPFLOW_SKIP_IF_UNSUPPORTED(2);
+  run_backend(GetParam(), 2, [](Communicator& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 3; ++i)
+        c.isend(1, 4, std::vector<double>{static_cast<double>(i)});
+    } else {
+      EXPECT_EQ(c.irecv(0, 4)->wait(), std::vector<double>{0.0});
+      EXPECT_EQ(c.irecv(0, 4)->wait(), std::vector<double>{1.0});
+      // mixing with blocking recv keeps the same queue
+      EXPECT_EQ(c.recv(0, 4), std::vector<double>{2.0});
+    }
+  });
+}
+
+TEST_P(TransportSuite, IrecvWaitTimeoutNamesPendingSourceAndTag) {
+  if (GetParam() == Backend::kSerial)
+    GTEST_SKIP() << "SerialComm fails empty recvs eagerly (contract_error)";
+  CommOptions opts;
+  opts.recv_timeout = 0.4;
+  run_backend(
+      GetParam(), 2,
+      [](Communicator& c) {
+        if (c.rank() == 1) {
+          auto h = c.irecv(0, 78);
+          try {
+            h->wait();
+            ADD_FAILURE() << "wait() on a never-sent message must time out";
+          } catch (const comm_timeout& e) {
+            const std::string msg = e.what();
+            EXPECT_NE(msg.find("src=0"), std::string::npos) << msg;
+            EXPECT_NE(msg.find("tag=78"), std::string::npos) << msg;
+          }
+        } else {
+          std::this_thread::sleep_for(std::chrono::milliseconds(900));
+        }
+      },
+      opts);
+}
+
+TEST(SerialCommNonblocking, SelfIsendIrecvRoundTrip) {
+  SerialComm c;
+  auto pending = c.irecv(0, 6);
+  EXPECT_FALSE(pending->test());
+  c.isend(0, 6, std::vector<double>{3.0});
+  EXPECT_TRUE(pending->test());
+  EXPECT_EQ(pending->wait(), std::vector<double>{3.0});
+  // draining an empty mailbox through wait() keeps the eager diagnostic
+  EXPECT_THROW(c.irecv(0, 6)->wait(), slipflow::contract_error);
+}
+
 // --- Thread-backend-only behaviors (shared-memory state, poison) ---
 
 TEST(ThreadComm, BarrierSynchronizes) {
