@@ -34,6 +34,7 @@
 #include "lbm/simulation.hpp"
 #include "lbm/stepper.hpp"
 #include "sim/parallel_lbm.hpp"
+#include "transport/shm_comm.hpp"
 #include "transport/thread_comm.hpp"
 
 using namespace slipflow;
@@ -224,6 +225,41 @@ void BM_ParallelPhase_Overlap_T4(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelPhase_Overlap_T4)->UseManualTime();
 
+// Same overlapped phase loop, but halos ride ShmComm's shared-memory
+// rings instead of ThreadComm's in-process mailboxes — the cost of the
+// real wire format (frames, rings, spin-then-yield waits) with zero
+// process-launch overhead in the timed region.
+void BM_ParallelPhase_Shm(benchmark::State& state) {
+  constexpr int kRanks = 4;
+  constexpr int kPhasesPerIter = 10;
+  sim::RunnerConfig cfg;
+  cfg.global = kPerfBox;
+  cfg.fluid = FluidParams::microchannel_defaults();
+  cfg.policy = "none";
+  for (auto _ : state) {
+    double seconds = 0.0;
+    transport::run_ranks_shm(kRanks, [&](transport::Communicator& c) {
+      sim::ParallelLbm run(cfg, c);
+      run.initialize_uniform();
+      c.barrier();
+      const auto t0 = std::chrono::steady_clock::now();
+      run.run(kPhasesPerIter);
+      c.barrier();  // closes when the slowest rank finished
+      if (c.rank() == 0)
+        seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    });
+    state.SetIterationTime(seconds);
+  }
+  const auto cells = static_cast<long long>(kPerfBox.cells()) *
+                     kPhasesPerIter * state.iterations();
+  state.SetItemsProcessed(cells);
+  state.counters["MLUPS"] = benchmark::Counter(
+      static_cast<double>(cells) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelPhase_Shm)->UseManualTime();
+
 void BM_PlanBuild(benchmark::State& state) {
   // the cost a migration adds outside the remap span: one O(owned cells)
   // classification pass over the perf box
@@ -308,6 +344,7 @@ int main(int argc, char** argv) {
   summary.add("require_speedup", require_speedup);
   summary.add("mlups_blocking_4ranks", blocking);
   summary.add("mlups_overlap_4ranks", overlap);
+  summary.add("mlups_shm_4ranks", reporter.get("BM_ParallelPhase_Shm"));
   summary.add("overlap_speedup", overlap_speedup);
   summary.add("require_overlap_speedup", require_overlap_speedup);
   summary.write(opts);

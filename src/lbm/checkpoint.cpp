@@ -19,7 +19,7 @@ struct Header {
   std::int64_t phase = 0;
   std::int64_t plane_doubles = 0;
 };
-static_assert(sizeof(Header) == 8 * 8);
+static_assert(sizeof(Header) == kCheckpointHeaderBytes);
 
 std::streamoff plane_offset(const Header& h, index_t gx) {
   return static_cast<std::streamoff>(sizeof(Header)) +
@@ -113,6 +113,26 @@ void save_checkpoint(const Slab& slab, long long phase,
   begin_checkpoint(slab.geometry().global(), slab.num_components(), phase,
                    slab.migration_doubles(1), path);
   write_checkpoint_planes(slab, path);
+}
+
+std::vector<std::byte> pack_checkpoint_planes(const Slab& slab) {
+  std::vector<std::byte> bytes;
+  pack_checkpoint_planes(slab, bytes);
+  return bytes;
+}
+
+void pack_checkpoint_planes(const Slab& slab, std::vector<std::byte>& out) {
+  const auto plane_doubles =
+      static_cast<std::size_t>(slab.migration_doubles(1));
+  const auto planes = static_cast<std::size_t>(slab.x_end() - slab.x_begin());
+  out.resize(planes * plane_doubles * sizeof(double));
+  std::vector<double> buf(plane_doubles);
+  std::size_t off = 0;
+  for (index_t gx = slab.x_begin(); gx < slab.x_end(); ++gx) {
+    slab.pack_owned_plane(gx, buf);
+    std::memcpy(out.data() + off, buf.data(), plane_doubles * sizeof(double));
+    off += plane_doubles * sizeof(double);
+  }
 }
 
 long long load_checkpoint_planes(Slab& slab, const std::string& path) {

@@ -2,13 +2,12 @@
 
 #include <fstream>
 #include <limits>
+#include <sstream>
 
 namespace slipflow::lbm {
 
-void write_vtk(const Slab& slab, const std::string& path,
-               const std::string& title) {
-  std::ofstream out(path);
-  SLIPFLOW_REQUIRE_MSG(out.good(), "cannot open " << path);
+std::string vtk_to_string(const Slab& slab, const std::string& title) {
+  std::ostringstream out;
   out.precision(std::numeric_limits<double>::max_digits10);
 
   const Extents& st = slab.storage();
@@ -46,6 +45,15 @@ void write_vtk(const Slab& slab, const std::string& path,
     out << u.x << ' ' << u.y << ' ' << u.z << "\n";
   });
 
+  return std::move(out).str();
+}
+
+void write_vtk(const Slab& slab, const std::string& path,
+               const std::string& title) {
+  const std::string bytes = vtk_to_string(slab, title);
+  std::ofstream out(path);
+  SLIPFLOW_REQUIRE_MSG(out.good(), "cannot open " << path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   SLIPFLOW_REQUIRE_MSG(out.good(), "short write to " << path);
 }
 

@@ -1,0 +1,176 @@
+#include "obs/async_writer.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace slipflow::obs {
+
+namespace {
+
+double mono_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void write_all(int fd, const std::byte* data, std::size_t n,
+               std::uint64_t offset, bool positional,
+               const std::string& path) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w =
+        positional ? ::pwrite(fd, data + off, n - off,
+                              static_cast<off_t>(offset + off))
+                   : ::write(fd, data + off, n - off);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    throw std::runtime_error("async writer: write to " + path + " failed: " +
+                             std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+AsyncWriter::AsyncWriter(std::size_t max_queue_bytes)
+    : max_queue_bytes_(max_queue_bytes) {
+  thread_ = std::thread([this] { writer_loop(); });
+}
+
+AsyncWriter::~AsyncWriter() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  thread_.join();
+}
+
+void AsyncWriter::enqueue(Job job) {
+  const std::size_t n = job.bytes.size();
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!error_.empty())
+    // The writer is broken; accepting more work would only hide it.
+    throw std::runtime_error(error_);
+  if (queued_bytes_ + n > max_queue_bytes_) {
+    const double t0 = mono_now();
+    cv_submit_.wait(lk, [&] {
+      return queued_bytes_ + n <= max_queue_bytes_ || !error_.empty();
+    });
+    stats_.submit_block_seconds += mono_now() - t0;
+    if (!error_.empty()) throw std::runtime_error(error_);
+  }
+  queued_bytes_ += n;
+  stats_.bytes_queued += static_cast<long long>(n);
+  queue_.push_back(std::move(job));
+  lk.unlock();
+  cv_work_.notify_one();
+}
+
+void AsyncWriter::submit_file(std::string path, std::vector<std::byte> bytes) {
+  enqueue(Job{std::move(path), 0, false, std::move(bytes)});
+}
+
+void AsyncWriter::submit_file(std::string path, std::string bytes) {
+  std::vector<std::byte> b(bytes.size());
+  std::memcpy(b.data(), bytes.data(), bytes.size());
+  enqueue(Job{std::move(path), 0, false, std::move(b)});
+}
+
+void AsyncWriter::submit_pwrite(std::string path, std::uint64_t offset,
+                                std::vector<std::byte> bytes) {
+  enqueue(Job{std::move(path), offset, true, std::move(bytes)});
+}
+
+void AsyncWriter::flush() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_submit_.wait(lk, [&] {
+    return (queue_.empty() && !busy_) || !error_.empty();
+  });
+  if (!error_.empty()) throw std::runtime_error(error_);
+}
+
+std::vector<std::byte> AsyncWriter::take_buffer() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (pool_.empty()) return {};
+  std::vector<std::byte> b = std::move(pool_.front());
+  pool_.pop_front();
+  b.clear();
+  return b;
+}
+
+AsyncWriterStats AsyncWriter::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void AsyncWriter::publish(MetricsRegistry& reg, int rank) const {
+  const AsyncWriterStats s = stats();
+  reg.add(rank, "time/io_async", s.write_seconds);
+  reg.add(rank, "io/bytes_queued", static_cast<double>(s.bytes_queued));
+  reg.add(rank, "io/jobs_written", static_cast<double>(s.jobs_written));
+  reg.add(rank, "io/submit_block_seconds", s.submit_block_seconds);
+}
+
+void AsyncWriter::writer_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      // Drain everything before honoring stop: accepted jobs are never
+      // lost.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    std::string error;
+    const double t0 = mono_now();
+    try {
+      const int flags = job.positional ? O_WRONLY | O_CLOEXEC
+                                       : O_WRONLY | O_CREAT | O_TRUNC |
+                                             O_CLOEXEC;
+      const int fd = ::open(job.path.c_str(), flags, 0644);
+      if (fd < 0)
+        throw std::runtime_error("async writer: cannot open " + job.path +
+                                 ": " + std::strerror(errno));
+      try {
+        write_all(fd, job.bytes.data(), job.bytes.size(), job.offset,
+                  job.positional, job.path);
+      } catch (...) {
+        ::close(fd);
+        throw;
+      }
+      ::close(fd);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    const double dt = mono_now() - t0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      busy_ = false;
+      queued_bytes_ -= job.bytes.size();
+      stats_.write_seconds += dt;
+      if (error.empty()) {
+        ++stats_.jobs_written;
+        stats_.bytes_written += static_cast<long long>(job.bytes.size());
+      } else if (error_.empty()) {
+        error_ = error;
+      }
+      // Recycle the buffer for the next snapshot (double buffering);
+      // keep the pool small — two buffers cover the steady state.
+      if (pool_.size() < 2) pool_.push_back(std::move(job.bytes));
+    }
+    cv_submit_.notify_all();
+  }
+}
+
+}  // namespace slipflow::obs

@@ -1,0 +1,98 @@
+#pragma once
+/// \file async_writer.hpp
+/// AsyncWriter — a background writer thread that takes whole-file and
+/// positional write jobs off the simulation's critical path, so no LBM
+/// phase ever blocks on disk.
+///
+/// The contract is double-buffered snapshotting: the simulation packs a
+/// snapshot (VTK text, checkpoint planes, metrics) into a buffer — ask
+/// take_buffer() for a recycled one — submits it, and immediately keeps
+/// stepping while the writer thread does the I/O. submit never loses an
+/// accepted job: the destructor drains the queue before joining. The
+/// queue is bounded by bytes; a submit that would exceed the bound
+/// blocks until the writer catches up (backpressure beats unbounded
+/// memory growth). Writer-side errors are captured and rethrown from
+/// the next flush(), which is also the rendezvous point before reading
+/// a file back or ending the run.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace slipflow::obs {
+
+/// Writer-thread counters (see publish()).
+struct AsyncWriterStats {
+  long long jobs_written = 0;
+  long long bytes_written = 0;
+  long long bytes_queued = 0;  ///< total bytes ever accepted by submit
+  double write_seconds = 0.0;  ///< wall time the writer spent in I/O
+  double submit_block_seconds = 0.0;  ///< caller time lost to backpressure
+};
+
+class AsyncWriter {
+ public:
+  explicit AsyncWriter(std::size_t max_queue_bytes = std::size_t{256} << 20);
+  /// Drains every accepted job, then joins. Errors found during the
+  /// drain are swallowed (teardown must not throw) — call flush() first
+  /// when you need them.
+  ~AsyncWriter();
+
+  AsyncWriter(const AsyncWriter&) = delete;
+  AsyncWriter& operator=(const AsyncWriter&) = delete;
+
+  /// Replace `path` with `bytes` (create/truncate + write).
+  void submit_file(std::string path, std::vector<std::byte> bytes);
+  void submit_file(std::string path, std::string bytes);
+  /// Positional write into an existing file (pwrite at `offset`); the
+  /// file must already be sized — see lbm::begin_checkpoint.
+  void submit_pwrite(std::string path, std::uint64_t offset,
+                     std::vector<std::byte> bytes);
+  /// Block until every accepted job is on disk, then rethrow the first
+  /// writer error (as comm-agnostic std::runtime_error), if any.
+  void flush();
+
+  /// A recycled buffer from a completed job (empty when none are
+  /// waiting) — reusing it makes snapshotting double-buffered instead
+  /// of allocating per snapshot.
+  std::vector<std::byte> take_buffer();
+
+  AsyncWriterStats stats() const;
+  /// Publish `time/io_async` (writer wall time in I/O) and
+  /// `io/bytes_queued` counters into shard `rank`. Call from the shard
+  /// owner's thread, once, after the run.
+  void publish(MetricsRegistry& reg, int rank) const;
+
+ private:
+  struct Job {
+    std::string path;
+    std::uint64_t offset = 0;
+    bool positional = false;
+    std::vector<std::byte> bytes;
+  };
+
+  void writer_loop();
+  void enqueue(Job job);
+
+  const std::size_t max_queue_bytes_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_submit_;  ///< signaled when queue shrinks
+  std::condition_variable cv_work_;    ///< signaled when work arrives
+  std::deque<Job> queue_;
+  std::size_t queued_bytes_ = 0;
+  bool stop_ = false;
+  bool busy_ = false;  ///< writer mid-job (queue empty but not idle)
+  std::string error_;  ///< first writer-side failure, "" = none
+  std::deque<std::vector<std::byte>> pool_;
+  AsyncWriterStats stats_;
+  std::thread thread_;
+};
+
+}  // namespace slipflow::obs

@@ -8,6 +8,8 @@
 
 #include "lbm/checkpoint.hpp"
 #include "lbm/stepper.hpp"
+#include "lbm/vtk.hpp"
+#include "obs/async_writer.hpp"
 
 namespace slipflow::sim {
 
@@ -209,6 +211,22 @@ void ParallelLbm::run(int phases) {
       // into the remap numbers.
       ensure_plan();
     }
+
+    // --- periodic output --- packs a snapshot and (by default) hands
+    // it to the background writer; the phase never blocks on disk.
+    if (cfg_.output.checkpoint_every > 0 || cfg_.output.vtk_every > 0)
+      write_outputs();
+  }
+  flush_output();
+  if (writer_ != nullptr) {
+    // Cumulative writer counters, as gauges so repeated run() calls
+    // overwrite instead of double-count.
+    const obs::AsyncWriterStats ws = writer_->stats();
+    prof_->set("time/io_async", ws.write_seconds);
+    prof_->set("io/bytes_queued", static_cast<double>(ws.bytes_queued));
+    prof_->set("io/bytes_written", static_cast<double>(ws.bytes_written));
+    prof_->set("io/jobs_written", static_cast<double>(ws.jobs_written));
+    prof_->set("io/submit_block_seconds", ws.submit_block_seconds);
   }
   stats_.planes = slab_->nx_local();
   prof_->set("planes_end", static_cast<double>(slab_->nx_local()));
@@ -442,6 +460,34 @@ void ParallelLbm::step_overlap() {
   prof_->add("time/interior", interior);
   prof_->add("time/halo_wait", halo_wait);
   finish_phase(phase_begin, t, compute);
+}
+
+void ParallelLbm::write_outputs() {
+  const OutputOptions& out = cfg_.output;
+  const bool ckpt =
+      out.checkpoint_every > 0 && phases_done_ % out.checkpoint_every == 0;
+  const bool vtk = out.vtk_every > 0 && phases_done_ % out.vtk_every == 0;
+  if (!ckpt && !vtk) return;
+  const double t0 = prof_->now();
+  const std::string tag = std::to_string(phases_done_);
+  if (ckpt) {
+    const std::string path = out.checkpoint_prefix + "." + tag + ".ckpt";
+    if (out.async)
+      save_checkpoint_async(path, phases_done_);
+    else
+      save_checkpoint(path, phases_done_);
+  }
+  if (vtk) {
+    const std::string path = out.vtk_prefix + "." + tag + ".r" +
+                             std::to_string(comm_.rank()) + ".vtk";
+    if (out.async) {
+      if (writer_ == nullptr) writer_ = std::make_unique<obs::AsyncWriter>();
+      writer_->submit_file(path, lbm::vtk_to_string(*slab_));
+    } else {
+      lbm::write_vtk(*slab_, path);
+    }
+  }
+  prof_->record_span("io", t0, prof_->now());
 }
 
 void ParallelLbm::remap_step() {
@@ -707,6 +753,30 @@ long long ParallelLbm::load_checkpoint(const std::string& path) {
   comm_.barrier();
   initialized_ = true;
   return phase;
+}
+
+void ParallelLbm::save_checkpoint_async(const std::string& path,
+                                        long long phase) {
+  SLIPFLOW_REQUIRE_MSG(initialized_, "nothing to checkpoint yet");
+  if (comm_.rank() == 0) {
+    lbm::begin_checkpoint(cfg_.global, slab_->num_components(), phase,
+                          slab_->migration_doubles(1), path);
+  }
+  comm_.barrier();  // the file must exist before anyone queues planes
+  if (writer_ == nullptr) writer_ = std::make_unique<obs::AsyncWriter>();
+  // The owned planes are a contiguous x-range, so the whole payload is
+  // one positional write; a recycled buffer keeps this double-buffered.
+  std::vector<std::byte> bytes = writer_->take_buffer();
+  lbm::pack_checkpoint_planes(*slab_, bytes);
+  writer_->submit_pwrite(
+      path,
+      lbm::checkpoint_plane_offset(slab_->migration_doubles(1),
+                                   slab_->x_begin()),
+      std::move(bytes));
+}
+
+void ParallelLbm::flush_output() {
+  if (writer_ != nullptr) writer_->flush();
 }
 
 }  // namespace slipflow::sim

@@ -25,6 +25,10 @@
 #include "transport/communicator.hpp"
 #include "util/thread_pool.hpp"
 
+namespace slipflow::obs {
+class AsyncWriter;
+}
+
 namespace slipflow::sim {
 
 /// Per-phase schedule of ParallelLbm.
@@ -41,6 +45,23 @@ enum class StepMode {
   /// Requires the plan kernel path; with legacy kernels the runner
   /// silently steps blocking.
   overlap,
+};
+
+/// Periodic on-disk output of a running simulation. Disabled by default.
+/// With `async` set (the default), snapshots are packed on the phase
+/// thread and handed to a background obs::AsyncWriter, so no phase ever
+/// blocks on disk; bytes on disk are identical to the synchronous path.
+struct OutputOptions {
+  /// Phases between collective checkpoints (0 = never). Phase P writes
+  /// <checkpoint_prefix>.<P>.ckpt (all ranks, one file).
+  int checkpoint_every = 0;
+  std::string checkpoint_prefix;
+  /// Phases between VTK snapshots (0 = never). Phase P, rank R writes
+  /// <vtk_prefix>.<P>.r<R>.vtk (per-rank tiles; see lbm/vtk.hpp).
+  int vtk_every = 0;
+  std::string vtk_prefix;
+  /// false = write inline (synchronous), for contrast and debugging.
+  bool async = true;
 };
 
 struct RunnerConfig {
@@ -82,6 +103,8 @@ struct RunnerConfig {
   /// obs::CountingClock so CI scheduling noise never reaches the
   /// balancer.
   obs::ClockFactory clock_factory;
+  /// Periodic checkpoint/VTK output; see OutputOptions.
+  OutputOptions output;
 };
 
 /// Per-rank cost/ownership summary after a run.
@@ -146,6 +169,17 @@ class ParallelLbm {
   /// extent. Counts as initialization. Returns the stored phase count.
   long long load_checkpoint(const std::string& path);
 
+  /// Like save_checkpoint, but the plane payload goes through the
+  /// background writer as one positional write (rank 0 still creates
+  /// the file synchronously, then a barrier). The file is complete only
+  /// after every rank's flush_output() — run() flushes at its end.
+  void save_checkpoint_async(const std::string& path, long long phase = 0);
+
+  /// Block until every queued async output is on disk; rethrows the
+  /// first writer error. run() calls this at its end; call it yourself
+  /// before reading an async-written file back mid-run.
+  void flush_output();
+
  private:
   class RingExchanger;
 
@@ -173,6 +207,12 @@ class ParallelLbm {
   /// both schedules. `t` = the clock reading that closed the last span.
   void finish_phase(double phase_begin, double t, double compute);
 
+  /// Periodic checkpoint/VTK hook, run after the remap block of an
+  /// output phase under the "io" span. Reads the clock exactly twice in
+  /// both the async and sync paths, so enabling async never shifts the
+  /// injected-clock sequence the load balancer sees.
+  void write_outputs();
+
   void remap_step();
   void remap_local();
   void remap_global();
@@ -195,6 +235,7 @@ class ParallelLbm {
   std::shared_ptr<const balance::RemapPolicy> policy_;
   std::unique_ptr<balance::NodeBalancer> balancer_;
   std::unique_ptr<obs::PhaseProfiler> prof_;
+  std::unique_ptr<obs::AsyncWriter> writer_;  ///< created on first async job
   RankStats stats_;
   double slowdown_factor_ = 0.0;
   double cells_updated_ = 0.0;  ///< fluid-cell updates, for the MLUPS gauge

@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "lbm/kernels.hpp"
+#include "obs/async_writer.hpp"
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
+#include "transport/shm_comm.hpp"
 #include "transport/socket_comm.hpp"
 #include "util/options.hpp"
 
@@ -70,6 +72,16 @@ int worker_main(int argc, const char* const* argv) {
   sc.comm.recv_timeout = opts.get("recv-timeout", 30.0);
   sc.heartbeat_path = opts.get("heartbeat-sock", std::string{});
   sc.heartbeat_interval = opts.get("heartbeat-interval", 0.25);
+  // socket = Unix-domain sockets (default), shm = mmap'd rings,
+  // auto = shm when the socket dir can host mmap'd segments.
+  const std::string transport = opts.get("transport", std::string("socket"));
+  const long long shm_session = opts.get("shm-session", 0LL);
+  const long long shm_ring_bytes = opts.get("shm-ring-bytes", 0LL);
+  if (transport != "socket" && transport != "shm" && transport != "auto") {
+    std::fprintf(stderr, "rank %d: unknown --transport=%s\n", rank,
+                 transport.c_str());
+    return 2;
+  }
 
   // --- fault injection ---
   sc.fault.kill_at_phase = opts.get("fault-kill-phase", -1LL);
@@ -131,6 +143,20 @@ int worker_main(int argc, const char* const* argv) {
   const std::string observables_out =
       opts.get("observables-out", std::string{});
   const std::string metrics_out = opts.get("metrics-out", std::string{});
+  cfg.output.checkpoint_every =
+      static_cast<int>(opts.get("checkpoint-every", 0LL));
+  cfg.output.checkpoint_prefix = opts.get("checkpoint-out", std::string{});
+  cfg.output.vtk_every = static_cast<int>(opts.get("vtk-every", 0LL));
+  cfg.output.vtk_prefix = opts.get("vtk-out", std::string{});
+  const std::string io = opts.get("io", std::string("async"));
+  if (io == "async") {
+    cfg.output.async = true;
+  } else if (io == "sync") {
+    cfg.output.async = false;
+  } else {
+    std::fprintf(stderr, "rank %d: unknown --io=%s\n", rank, io.c_str());
+    return 2;
+  }
 
   const std::vector<std::string> unused = opts.unused_keys();
   if (!unused.empty()) {
@@ -141,29 +167,76 @@ int worker_main(int argc, const char* const* argv) {
 
   try {
     obs::MetricsRegistry reg(nranks);  // only shard `rank` is written here
-    sc.metrics = &reg;
     cfg.metrics = &reg;
-    transport::SocketComm comm(sc);
 
-    ParallelLbm run(cfg, comm);
+    // Every rank resolves "auto" from the same filesystem probe, so the
+    // choice is identical across the launch without any coordination.
+    std::string chosen = transport;
+    if (chosen == "auto")
+      chosen = transport::shm_dir_usable(sc.dir) ? "shm" : "socket";
+    std::unique_ptr<transport::Communicator> comm;
+    transport::SocketComm* socket_comm = nullptr;
+    transport::ShmComm* shm_comm = nullptr;
+    if (chosen == "shm") {
+      transport::ShmCommConfig hc;
+      hc.rank = rank;
+      hc.nranks = nranks;
+      hc.dir = sc.dir;
+      hc.comm = sc.comm;
+      hc.connect_timeout = sc.connect_timeout;
+      if (shm_ring_bytes > 0)
+        hc.ring_bytes = static_cast<std::size_t>(shm_ring_bytes);
+      hc.session = static_cast<std::uint64_t>(shm_session);
+      hc.heartbeat_path = sc.heartbeat_path;
+      hc.heartbeat_interval = sc.heartbeat_interval;
+      hc.fault = sc.fault;
+      hc.metrics = &reg;
+      auto c = std::make_unique<transport::ShmComm>(hc);
+      shm_comm = c.get();
+      comm = std::move(c);
+    } else {
+      sc.metrics = &reg;
+      auto c = std::make_unique<transport::SocketComm>(sc);
+      socket_comm = c.get();
+      comm = std::move(c);
+    }
+
+    ParallelLbm run(cfg, *comm);
     run.initialize_uniform();
     run.run(phases);
-    const std::string observables = collect_observables(run, comm, cfg.global);
-    comm.publish_stats();
+    const std::string observables =
+        collect_observables(run, *comm, cfg.global);
+    if (socket_comm != nullptr) socket_comm->publish_stats();
+    if (shm_comm != nullptr) shm_comm->publish_stats();
 
-    if (!observables_out.empty() && comm.rank() == 0) {
-      std::ofstream f(observables_out, std::ios::binary | std::ios::trunc);
-      if (!f) throw transport::comm_error("cannot write " + observables_out);
-      f << observables;
-    }
-    if (!metrics_out.empty()) {
-      std::ofstream f(metrics_out, std::ios::binary | std::ios::trunc);
-      if (!f) throw transport::comm_error("cannot write " + metrics_out);
-      reg.write_csv(f);
+    if (cfg.output.async) {
+      // Same background-writer path the runner uses for checkpoints/VTK;
+      // flush() below is the rendezvous before the final barrier.
+      obs::AsyncWriter writer;
+      if (!observables_out.empty() && comm->rank() == 0)
+        writer.submit_file(observables_out, observables);
+      if (!metrics_out.empty()) {
+        std::ostringstream csv;
+        reg.write_csv(csv);
+        writer.submit_file(metrics_out, std::move(csv).str());
+      }
+      writer.flush();
+    } else {
+      if (!observables_out.empty() && comm->rank() == 0) {
+        std::ofstream f(observables_out, std::ios::binary | std::ios::trunc);
+        if (!f)
+          throw transport::comm_error("cannot write " + observables_out);
+        f << observables;
+      }
+      if (!metrics_out.empty()) {
+        std::ofstream f(metrics_out, std::ios::binary | std::ios::trunc);
+        if (!f) throw transport::comm_error("cannot write " + metrics_out);
+        reg.write_csv(f);
+      }
     }
     // Final barrier so no rank tears down its endpoint while a peer is
     // still mid-collective.
-    comm.barrier();
+    comm->barrier();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rank %d: %s\n", rank, e.what());
     return 3;

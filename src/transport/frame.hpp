@@ -1,6 +1,7 @@
 #pragma once
 /// \file frame.hpp
-/// Wire format of SocketComm: length-prefixed tagged frames.
+/// Wire format of the process transports (SocketComm streams, ShmComm
+/// rings): length-prefixed tagged frames.
 ///
 /// Every message on a connection is one frame — a fixed 24-byte header
 /// followed by `count` raw doubles. The header carries the sender rank
@@ -30,12 +31,18 @@ enum class FrameKind : std::uint16_t {
   kHello = 2,      ///< connection opener: identifies the dialing rank
   kRelease = 3,    ///< rendezvous barrier release from rank 0
   kHeartbeat = 4,  ///< liveness beat to the launcher: payload {phase, seq}
+  kPad = 5,        ///< ring filler: skip to the end of the ring (ShmComm)
 };
+
+/// Flag on a kData frame: this is a fragment of a chunked message and
+/// more fragments follow on the same (src, tag) channel (ShmComm only —
+/// frames larger than half a ring are split so they can always fit).
+inline constexpr std::uint16_t kFrameFlagMoreFragments = 1;
 
 struct FrameHeader {
   std::uint32_t magic = 0;
   FrameKind kind = FrameKind::kData;
-  std::uint16_t flags = 0;  ///< reserved, must be 0
+  std::uint16_t flags = 0;  ///< kFrameFlagMoreFragments, else 0
   std::int32_t src = 0;     ///< sender rank
   std::int32_t tag = 0;     ///< message tag (kData), else 0
   std::uint64_t count = 0;  ///< payload length in doubles
@@ -75,7 +82,7 @@ inline FrameHeader decode_frame_header(std::span<const std::byte> bytes) {
   std::memcpy(&h.count, bytes.data() + 16, 8);
   if (h.magic != kFrameMagic)
     throw comm_error("frame decode: bad magic word (stream desynchronized)");
-  if (kind < 1 || kind > 4)
+  if (kind < 1 || kind > 5)
     throw comm_error("frame decode: unknown frame kind " +
                      std::to_string(kind));
   h.kind = static_cast<FrameKind>(kind);

@@ -16,29 +16,18 @@
 #include <sstream>
 #include <thread>
 
+#include "transport/fdio.hpp"
 #include "transport/frame.hpp"
 #include "transport/tempdir.hpp"
 #include "util/require.hpp"
 
 namespace slipflow::transport {
 
+using fdio::mono_now;
+using fdio::set_nonblocking;
+using fdio::throw_errno;
+
 namespace {
-
-double mono_now() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw comm_error(what + ": " + std::strerror(errno));
-}
-
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
-    throw_errno("fcntl(O_NONBLOCK)");
-}
 
 /// One accepted (but not yet rank-identified) or identified heartbeat
 /// connection. Heartbeat frames are parsed with the shared frame codec.
@@ -97,6 +86,13 @@ LaunchResult launch_workers(const LaunchConfig& cfg) {
   std::vector<Worker> workers(static_cast<std::size_t>(cfg.ranks));
   std::vector<HbConn> conns;
 
+  // One session tag per launch: stale ring segments left in a reused dir
+  // by a crashed earlier run carry a different tag and are re-created.
+  const unsigned long long session =
+      (static_cast<unsigned long long>(::getpid()) << 32) ^
+      static_cast<unsigned long long>(
+          std::chrono::steady_clock::now().time_since_epoch().count());
+
   std::fflush(stdout);
   std::fflush(stderr);
   for (int r = 0; r < cfg.ranks; ++r) {
@@ -104,6 +100,15 @@ LaunchResult launch_workers(const LaunchConfig& cfg) {
     argv_s.push_back("--rank=" + std::to_string(r));
     argv_s.push_back("--ranks=" + std::to_string(cfg.ranks));
     argv_s.push_back("--socket-dir=" + dir);
+    if (!cfg.transport.empty()) {
+      argv_s.push_back("--transport=" + cfg.transport);
+      if (cfg.transport != "socket") {
+        argv_s.push_back("--shm-session=" + std::to_string(session));
+        if (cfg.shm_ring_bytes > 0)
+          argv_s.push_back("--shm-ring-bytes=" +
+                           std::to_string(cfg.shm_ring_bytes));
+      }
+    }
     argv_s.push_back("--heartbeat-sock=" + monitor_path);
     argv_s.push_back("--heartbeat-interval=" +
                      std::to_string(cfg.heartbeat_interval));

@@ -34,6 +34,16 @@ struct LaunchConfig {
   /// Socket directory shared by the workers; empty = fresh mkdtemp under
   /// $TMPDIR (falling back to /tmp), removed when the launch returns.
   std::string dir;
+  /// Transport the workers should use: "" = leave the worker's default
+  /// (socket), "socket", "shm", or "auto" (shm when the shared dir
+  /// supports mmap, else socket). When set, the launcher appends
+  /// --transport=<t>; for "shm"/"auto" it also appends a fresh
+  /// --shm-session=<tag> so stale ring segments from a crashed earlier
+  /// launch can never be mistaken for this run's.
+  std::string transport;
+  /// Ring capacity per directed peer pair in bytes (0 = worker default).
+  /// Only meaningful with transport "shm"/"auto".
+  long long shm_ring_bytes = 0;
   double heartbeat_interval = 0.25;
   /// A worker whose latest beat is older than this fails the run
   /// (seconds). <= 0 disables heartbeat supervision.

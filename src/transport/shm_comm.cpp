@@ -1,0 +1,845 @@
+#include "transport/shm_comm.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <thread>
+
+#include "transport/collectives.hpp"
+#include "transport/fdio.hpp"
+#include "transport/fork_harness.hpp"
+#include "transport/frame.hpp"
+#include "transport/heartbeat.hpp"
+#include "transport/tempdir.hpp"
+
+namespace slipflow::transport {
+
+using fdio::mono_now;
+using fdio::throw_errno;
+
+namespace {
+
+// --- ring segment layout -------------------------------------------------
+// [0]   u64 magic     — stored LAST (release) by the creating consumer,
+//                       so a mapped segment with the magic set is fully
+//                       initialized
+// [8]   u64 session   — launch-wide tag; rejects stale segments
+// [16]  u64 capacity  — data bytes (producer validates against its own)
+// [64]  u64 head      — bytes produced, monotonic (producer-written)
+// [128] u64 tail      — bytes consumed, monotonic (consumer-written)
+// [192] u32 producer_closed / [196] u32 consumer_closed
+// [200] u32 producer_attached — set once the producer has mapped the
+//                       segment; the consumer's constructor waits for it
+//                       (the rendezvous that makes the destructor's
+//                       unlink safe: an mmap outlives the directory entry)
+// [256] data[capacity]
+// head/tail/closed live on their own cache lines to avoid false sharing
+// between the two sides.
+constexpr std::uint64_t kShmMagic = 0x534C502E53484Dull;  // "SLP.SHM"
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffSession = 8;
+constexpr std::size_t kOffCapacity = 16;
+constexpr std::size_t kOffHead = 64;
+constexpr std::size_t kOffTail = 128;
+constexpr std::size_t kOffProducerClosed = 192;
+constexpr std::size_t kOffConsumerClosed = 196;
+constexpr std::size_t kOffProducerAttached = 200;
+constexpr std::size_t kRingDataOffset = 256;
+
+std::atomic_ref<std::uint64_t> a64(std::byte* base, std::size_t off) {
+  return std::atomic_ref<std::uint64_t>(
+      *reinterpret_cast<std::uint64_t*>(base + off));
+}
+
+std::atomic_ref<std::uint32_t> a32(std::byte* base, std::size_t off) {
+  return std::atomic_ref<std::uint32_t>(
+      *reinterpret_cast<std::uint32_t*>(base + off));
+}
+
+std::string ring_path(const std::string& dir, int src, int dst) {
+  return dir + "/ring_" + std::to_string(src) + "to" + std::to_string(dst) +
+         ".shm";
+}
+
+}  // namespace
+
+ShmComm::ShmComm(ShmCommConfig cfg) : cfg_(std::move(cfg)) {
+  SLIPFLOW_REQUIRE(cfg_.nranks >= 1);
+  SLIPFLOW_REQUIRE(cfg_.rank >= 0 && cfg_.rank < cfg_.nranks);
+  SLIPFLOW_REQUIRE_MSG(cfg_.nranks == 1 || !cfg_.dir.empty(),
+                       "ShmComm needs a segment directory for > 1 rank");
+  SLIPFLOW_REQUIRE_MSG(cfg_.ring_bytes >= 4096,
+                       "ShmComm ring_bytes must be at least 4096");
+  cfg_.ring_bytes = (cfg_.ring_bytes + 7u) & ~std::size_t{7};
+  drop_remaining_ = cfg_.fault.drop_dest == -2 ? 0 : cfg_.fault.drop_count;
+  // On an oversubscribed host (more ranks than cores) each yield donates
+  // the core to the peer we are waiting on, so stay in the yield loop
+  // much longer before conceding a real sleep — the 200us sleep cliff
+  // costs more than the halo round-trip itself.
+  spin_limit_ =
+      cfg_.nranks <= static_cast<int>(std::thread::hardware_concurrency())
+          ? 256
+          : 16384;
+  throttle_last_ = mono_now();
+  // 0.1 s of burst allowance; see FaultInjection::throttle_bytes_per_sec.
+  throttle_tokens_ = 0.1 * cfg_.fault.throttle_bytes_per_sec;
+  in_.resize(static_cast<std::size_t>(cfg_.nranks));
+  out_.resize(static_cast<std::size_t>(cfg_.nranks));
+  partial_.resize(static_cast<std::size_t>(cfg_.nranks));
+  outbox_.resize(static_cast<std::size_t>(cfg_.nranks));
+  // Heartbeats start before ring discovery so a rank stuck waiting for a
+  // peer's segment is already visible to the launcher's monitor.
+  if (!cfg_.heartbeat_path.empty())
+    hb_ = std::make_unique<HeartbeatSender>(cfg_.rank, cfg_.heartbeat_path,
+                                            cfg_.heartbeat_interval,
+                                            cfg_.connect_timeout);
+  if (cfg_.nranks > 1) {
+    create_inbound_rings();
+    open_outbound_rings();
+    wait_producers_attached();
+  }
+}
+
+/// The construction rendezvous (the shm analogue of SocketComm's accept
+/// loop): block until every peer has mapped this rank's inbound rings.
+/// After this, no peer still needs our segments' directory entries —
+/// their mmaps outlive the unlink — so teardown can remove them no
+/// matter how early this rank finishes relative to its peers.
+void ShmComm::wait_producers_attached() {
+  const double deadline = mono_now() + cfg_.connect_timeout;
+  for (int src = 0; src < cfg_.nranks; ++src) {
+    if (src == cfg_.rank) continue;
+    Ring& r = in_[static_cast<std::size_t>(src)];
+    while (a32(r.base, kOffProducerAttached)
+               .load(std::memory_order_acquire) == 0) {
+      if (mono_now() >= deadline)
+        throw comm_timeout("rank " + std::to_string(cfg_.rank) + ": rank " +
+                           std::to_string(src) + " never attached to " +
+                           r.path + " within " +
+                           std::to_string(cfg_.connect_timeout) + "s");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+}
+
+void ShmComm::create_inbound_rings() {
+  const std::size_t len = kRingDataOffset + cfg_.ring_bytes;
+  for (int src = 0; src < cfg_.nranks; ++src) {
+    if (src == cfg_.rank) continue;
+    Ring& r = in_[static_cast<std::size_t>(src)];
+    r.path = ring_path(cfg_.dir, src, cfg_.rank);
+    // unlink-then-create: a stale segment from a crashed earlier run
+    // keeps its old inode (and old session tag), so a producer that
+    // mapped it keeps retrying by path until it sees this fresh one.
+    ::unlink(r.path.c_str());
+    const int fd = ::open(r.path.c_str(), O_CREAT | O_EXCL | O_RDWR | O_CLOEXEC,
+                          0600);
+    if (fd < 0) throw_errno("open(create " + r.path + ")");
+    if (::ftruncate(fd, static_cast<off_t>(len)) < 0) {
+      const int err = errno;
+      ::close(fd);
+      ::unlink(r.path.c_str());
+      errno = err;
+      throw_errno("ftruncate(" + r.path + ")");
+    }
+    void* base =
+        ::mmap(nullptr, len, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED) {
+      ::unlink(r.path.c_str());
+      throw_errno("mmap(" + r.path + ")");
+    }
+    r.base = static_cast<std::byte*>(base);
+    r.map_len = len;
+    r.cap = cfg_.ring_bytes;
+    r.pos = 0;
+    // Fresh pages are zero; publish session/capacity before the magic so
+    // a producer that observes the magic (acquire) sees a complete header.
+    a64(r.base, kOffSession).store(cfg_.session, std::memory_order_relaxed);
+    a64(r.base, kOffCapacity)
+        .store(cfg_.ring_bytes, std::memory_order_relaxed);
+    a64(r.base, kOffMagic).store(kShmMagic, std::memory_order_release);
+  }
+}
+
+void ShmComm::open_outbound_rings() {
+  const std::size_t len = kRingDataOffset + cfg_.ring_bytes;
+  const double deadline = mono_now() + cfg_.connect_timeout;
+  for (int dst = 0; dst < cfg_.nranks; ++dst) {
+    if (dst == cfg_.rank) continue;
+    Ring& r = out_[static_cast<std::size_t>(dst)];
+    r.path = ring_path(cfg_.dir, cfg_.rank, dst);
+    for (;;) {
+      const int fd = ::open(r.path.c_str(), O_RDWR | O_CLOEXEC);
+      if (fd >= 0) {
+        struct stat st{};
+        const bool sized =
+            ::fstat(fd, &st) == 0 && st.st_size == static_cast<off_t>(len);
+        void* base = sized ? ::mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                                    MAP_SHARED, fd, 0)
+                           : MAP_FAILED;
+        ::close(fd);
+        if (base != MAP_FAILED) {
+          std::byte* b = static_cast<std::byte*>(base);
+          if (a64(b, kOffMagic).load(std::memory_order_acquire) == kShmMagic &&
+              a64(b, kOffSession).load(std::memory_order_relaxed) ==
+                  cfg_.session &&
+              a64(b, kOffCapacity).load(std::memory_order_relaxed) ==
+                  cfg_.ring_bytes) {
+            r.base = b;
+            r.map_len = len;
+            r.cap = cfg_.ring_bytes;
+            r.pos = 0;
+            a32(b, kOffProducerAttached).store(1, std::memory_order_release);
+            break;
+          }
+          ::munmap(base, len);  // stale or still-initializing — retry
+        }
+      }
+      if (mono_now() >= deadline)
+        throw comm_timeout("rank " + std::to_string(cfg_.rank) +
+                           ": shm ring " + r.path +
+                           " not available within " +
+                           std::to_string(cfg_.connect_timeout) + "s");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+}
+
+ShmComm::~ShmComm() {
+  hb_.reset();
+  // Best-effort drain of spilled sends so a rank that finishes early
+  // does not strand messages its peers still want (eager-send
+  // contract); bounded so teardown can never hang.
+  try {
+    const double deadline = mono_now() + 5.0;
+    for (;;) {
+      bool pending = false;
+      for (int d = 0; d < cfg_.nranks; ++d) {
+        if (d == cfg_.rank) continue;
+        drain_outbox(d);
+        if (!outbox_[static_cast<std::size_t>(d)].empty()) pending = true;
+      }
+      if (!pending || mono_now() >= deadline) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  } catch (...) {
+    // teardown must not throw
+  }
+  for (int p = 0; p < cfg_.nranks; ++p) {
+    Ring& o = out_[static_cast<std::size_t>(p)];
+    if (o.base != nullptr) {
+      a32(o.base, kOffProducerClosed).store(1, std::memory_order_release);
+      ::munmap(o.base, o.map_len);
+      o.base = nullptr;
+    }
+    Ring& i = in_[static_cast<std::size_t>(p)];
+    if (i.base != nullptr) {
+      a32(i.base, kOffConsumerClosed).store(1, std::memory_order_release);
+      ::munmap(i.base, i.map_len);
+      i.base = nullptr;
+      ::unlink(i.path.c_str());
+    }
+  }
+}
+
+void ShmComm::throttle(std::size_t bytes) {
+  const double bps = cfg_.fault.throttle_bytes_per_sec;
+  if (bps <= 0.0) return;
+  const double now = mono_now();
+  throttle_tokens_ = std::min(0.1 * bps,
+                              throttle_tokens_ + (now - throttle_last_) * bps);
+  throttle_last_ = now;
+  const double need = static_cast<double>(bytes);
+  if (need > throttle_tokens_) {
+    const double wait = (need - throttle_tokens_) / bps;
+    stats_.throttle_wait_seconds += wait;
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+    throttle_last_ = mono_now();
+  }
+  throttle_tokens_ -= need;
+}
+
+std::byte* ShmComm::ring_reserve(Ring& r, std::uint64_t frame_bytes,
+                                 std::uint64_t& advance) {
+  const std::uint64_t h = r.pos;
+  const std::uint64_t end = r.cap - (h % r.cap);
+  // A frame never wraps: when the space to the ring's end is too small,
+  // fill it — with an explicit kPad frame when a header fits, otherwise
+  // by the implicit skip rule the consumer applies symmetrically (both
+  // sides know end-of-ring remainders under one header are dead space).
+  const std::uint64_t pad = end < frame_bytes ? end : 0;
+  const std::uint64_t t =
+      a64(r.base, kOffTail).load(std::memory_order_acquire);
+  if (r.cap - (h - t) < pad + frame_bytes) return nullptr;
+  if (pad >= kFrameHeaderBytes) {
+    FrameHeader ph;
+    ph.kind = FrameKind::kPad;
+    ph.src = cfg_.rank;
+    ph.count = (pad - kFrameHeaderBytes) / sizeof(double);
+    const auto pb = encode_frame_header(ph);
+    std::memcpy(r.base + kRingDataOffset + (h % r.cap), pb.data(), pb.size());
+  }
+  advance = pad + frame_bytes;
+  return r.base + kRingDataOffset + ((h + pad) % r.cap);
+}
+
+void ShmComm::ring_commit(Ring& r, std::uint64_t advance) {
+  r.pos += advance;
+  a64(r.base, kOffHead).store(r.pos, std::memory_order_release);
+  stats_.bytes_sent += static_cast<long long>(advance);
+}
+
+bool ShmComm::try_append(int dest, std::uint16_t flags, int tag,
+                         std::span<const double> data) {
+  Ring& r = out_[static_cast<std::size_t>(dest)];
+  const std::uint64_t S = kFrameHeaderBytes + data.size() * sizeof(double);
+  std::uint64_t advance = 0;
+  std::byte* at = ring_reserve(r, S, advance);
+  if (at == nullptr) return false;
+  FrameHeader h;
+  h.kind = FrameKind::kData;
+  h.flags = flags;
+  h.src = cfg_.rank;
+  h.tag = tag;
+  h.count = data.size();
+  const auto hb = encode_frame_header(h);
+  std::memcpy(at, hb.data(), hb.size());
+  if (!data.empty())
+    // The payload's only copy: caller's buffer -> mapped ring.
+    std::memcpy(at + kFrameHeaderBytes, data.data(),
+                data.size() * sizeof(double));
+  ring_commit(r, advance);
+  return true;
+}
+
+bool ShmComm::try_append_raw(int dest, std::span<const std::byte> frame) {
+  Ring& r = out_[static_cast<std::size_t>(dest)];
+  std::uint64_t advance = 0;
+  std::byte* at = ring_reserve(r, frame.size(), advance);
+  if (at == nullptr) return false;
+  std::memcpy(at, frame.data(), frame.size());
+  ring_commit(r, advance);
+  return true;
+}
+
+void ShmComm::enqueue_data(int dest, int tag, std::span<const double> data) {
+  Ring& r = out_[static_cast<std::size_t>(dest)];
+  if (a32(r.base, kOffConsumerClosed).load(std::memory_order_acquire) != 0)
+    throw comm_error("rank " + std::to_string(cfg_.rank) + ": send to rank " +
+                     std::to_string(dest) + " failed: connection closed");
+  // Fragments are bounded by half a ring so any message is deliverable
+  // regardless of capacity; all but the last carry the more-fragments
+  // flag and reassemble on the receiver.
+  const std::size_t max_frag =
+      (static_cast<std::size_t>(r.cap) / 2 - kFrameHeaderBytes) /
+      sizeof(double);
+  auto& spill = outbox_[static_cast<std::size_t>(dest)];
+  std::size_t off = 0;
+  do {
+    const std::size_t n = std::min(data.size() - off, max_frag);
+    const bool more = off + n < data.size();
+    const std::span<const double> frag = data.subspan(off, n);
+    const std::uint16_t flags = more ? kFrameFlagMoreFragments : 0;
+    throttle(kFrameHeaderBytes + n * sizeof(double));
+    // FIFO: once anything is spilled, everything behind it spills too.
+    if (!spill.empty() || !try_append(dest, flags, tag, frag)) {
+      FrameHeader h;
+      h.kind = FrameKind::kData;
+      h.flags = flags;
+      h.src = cfg_.rank;
+      h.tag = tag;
+      h.count = frag.size();
+      const auto hb = encode_frame_header(h);
+      std::vector<std::byte> bytes(hb.size() + frag.size() * sizeof(double));
+      std::memcpy(bytes.data(), hb.data(), hb.size());
+      if (!frag.empty())
+        std::memcpy(bytes.data() + hb.size(), frag.data(),
+                    frag.size() * sizeof(double));
+      ++stats_.spilled_frames;
+      stats_.spilled_bytes += static_cast<long long>(bytes.size());
+      spill.push_back(std::move(bytes));
+    }
+    off += n;
+  } while (off < data.size());
+}
+
+void ShmComm::send(int dest, int tag, std::span<const double> data) {
+  SLIPFLOW_REQUIRE(dest >= 0 && dest < cfg_.nranks);
+  if (drop_remaining_ > 0 &&
+      (cfg_.fault.drop_dest == -1 || cfg_.fault.drop_dest == dest) &&
+      (cfg_.fault.drop_tag == -1 || cfg_.fault.drop_tag == tag)) {
+    --drop_remaining_;
+    ++stats_.frames_dropped;
+    return;
+  }
+  if (cfg_.fault.send_delay > 0.0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(cfg_.fault.send_delay));
+  ++stats_.messages_sent;
+  if (dest == cfg_.rank) {
+    mail_[{cfg_.rank, tag}].emplace_back(data.begin(), data.end());
+    ++stats_.messages_received;
+    return;
+  }
+  enqueue_data(dest, tag, data);
+}
+
+bool ShmComm::drain_outbox(int dest) {
+  auto& q = outbox_[static_cast<std::size_t>(dest)];
+  if (q.empty()) return false;
+  Ring& r = out_[static_cast<std::size_t>(dest)];
+  if (a32(r.base, kOffConsumerClosed).load(std::memory_order_acquire) != 0) {
+    // The peer is gone; undeliverable output is dropped and the next
+    // recv involving this peer reports it (mirrors the socket path).
+    q.clear();
+    return false;
+  }
+  bool moved = false;
+  while (!q.empty() && try_append_raw(dest, q.front())) {
+    q.pop_front();
+    moved = true;
+  }
+  return moved;
+}
+
+bool ShmComm::drain_ring(int src) {
+  Ring& r = in_[static_cast<std::size_t>(src)];
+  if (r.base == nullptr) return false;
+  if (view_src_ == src) return false;  // hold position for the active view
+  const std::uint64_t h =
+      a64(r.base, kOffHead).load(std::memory_order_acquire);
+  std::uint64_t t = r.pos;
+  bool moved = false;
+  while (h - t >= kFrameHeaderBytes) {
+    const std::uint64_t end = r.cap - (t % r.cap);
+    if (end < kFrameHeaderBytes) {  // implicit end-of-ring skip
+      t += end;
+      continue;
+    }
+    std::array<std::byte, kFrameHeaderBytes> hb;
+    std::memcpy(hb.data(), r.base + kRingDataOffset + (t % r.cap), hb.size());
+    const FrameHeader fh = decode_frame_header(hb);
+    const std::uint64_t S = kFrameHeaderBytes + fh.count * sizeof(double);
+    if (fh.kind == FrameKind::kPad) {
+      t += S;
+      continue;
+    }
+    if (fh.kind != FrameKind::kData || fh.src != src)
+      throw comm_error("rank " + std::to_string(cfg_.rank) +
+                       ": unexpected frame from rank " + std::to_string(src));
+    // A frame never wraps (see ring_reserve), so the payload is
+    // contiguous and 8-aligned in the mapping.
+    const double* payload = reinterpret_cast<const double*>(
+        r.base + kRingDataOffset + (t % r.cap) + kFrameHeaderBytes);
+    Partial& pa = partial_[static_cast<std::size_t>(src)];
+    if ((fh.flags & kFrameFlagMoreFragments) != 0) {
+      if (!pa.active) {
+        pa.active = true;
+        pa.tag = fh.tag;
+        pa.data.clear();
+      } else if (pa.tag != fh.tag) {
+        throw comm_error("rank " + std::to_string(cfg_.rank) +
+                         ": interleaved fragments from rank " +
+                         std::to_string(src));
+      }
+      pa.data.insert(pa.data.end(), payload, payload + fh.count);
+    } else if (pa.active) {
+      if (pa.tag != fh.tag)
+        throw comm_error("rank " + std::to_string(cfg_.rank) +
+                         ": interleaved fragments from rank " +
+                         std::to_string(src));
+      pa.data.insert(pa.data.end(), payload, payload + fh.count);
+      mail_[{src, fh.tag}].push_back(std::move(pa.data));
+      pa.active = false;
+      pa.data = {};
+      ++stats_.messages_received;
+    } else {
+      mail_[{src, fh.tag}].emplace_back(payload, payload + fh.count);
+      ++stats_.messages_received;
+    }
+    t += S;
+    moved = true;
+  }
+  if (t != r.pos) {
+    stats_.bytes_received += static_cast<long long>(t - r.pos);
+    r.pos = t;
+    a64(r.base, kOffTail).store(t, std::memory_order_release);
+  }
+  return moved;
+}
+
+std::optional<std::span<const double>> ShmComm::try_recv_view(int src,
+                                                              int tag) {
+  SLIPFLOW_REQUIRE(src >= 0 && src < cfg_.nranks && src != cfg_.rank);
+  SLIPFLOW_REQUIRE_MSG(view_src_ == -1,
+                       "ShmComm: only one zero-copy view may be active");
+  const auto it = mail_.find({src, tag});
+  if (it != mail_.end() && !it->second.empty()) return std::nullopt;
+  Ring& r = in_[static_cast<std::size_t>(src)];
+  if (r.base == nullptr) return std::nullopt;
+  const std::uint64_t h =
+      a64(r.base, kOffHead).load(std::memory_order_acquire);
+  std::uint64_t t = r.pos;
+  // Consume leading pads/skips — they carry nothing.
+  for (;;) {
+    if (h - t < kFrameHeaderBytes) break;
+    const std::uint64_t end = r.cap - (t % r.cap);
+    if (end < kFrameHeaderBytes) {
+      t += end;
+      continue;
+    }
+    std::array<std::byte, kFrameHeaderBytes> hb;
+    std::memcpy(hb.data(), r.base + kRingDataOffset + (t % r.cap), hb.size());
+    const FrameHeader fh = decode_frame_header(hb);
+    const std::uint64_t S = kFrameHeaderBytes + fh.count * sizeof(double);
+    if (fh.kind == FrameKind::kPad) {
+      t += S;
+      continue;
+    }
+    if (t != r.pos) {
+      stats_.bytes_received += static_cast<long long>(t - r.pos);
+      r.pos = t;
+      a64(r.base, kOffTail).store(t, std::memory_order_release);
+    }
+    if (fh.kind != FrameKind::kData || fh.src != src ||
+        fh.tag != tag || (fh.flags & kFrameFlagMoreFragments) != 0 ||
+        partial_[static_cast<std::size_t>(src)].active)
+      return std::nullopt;  // not viewable — leave it for drain_ring
+    view_src_ = src;
+    view_advance_ = S;
+    const double* payload = reinterpret_cast<const double*>(
+        r.base + kRingDataOffset + (t % r.cap) + kFrameHeaderBytes);
+    return std::span<const double>(payload, fh.count);
+  }
+  if (t != r.pos) {
+    stats_.bytes_received += static_cast<long long>(t - r.pos);
+    r.pos = t;
+    a64(r.base, kOffTail).store(t, std::memory_order_release);
+  }
+  return std::nullopt;
+}
+
+void ShmComm::release_view() {
+  if (view_src_ < 0) return;
+  Ring& r = in_[static_cast<std::size_t>(view_src_)];
+  r.pos += view_advance_;
+  a64(r.base, kOffTail).store(r.pos, std::memory_order_release);
+  stats_.bytes_received += static_cast<long long>(view_advance_);
+  ++stats_.messages_received;
+  view_src_ = -1;
+  view_advance_ = 0;
+}
+
+void ShmComm::progress(double max_wait_seconds) {
+  auto pass = [this] {
+    bool moved = false;
+    for (int p = 0; p < cfg_.nranks; ++p) {
+      if (p == cfg_.rank) continue;
+      if (drain_outbox(p)) moved = true;
+      if (drain_ring(p)) moved = true;
+    }
+    return moved;
+  };
+  if (pass() || max_wait_seconds <= 0.0) return;
+  // Spin-then-yield: the halo exchange's latencies are microseconds, so
+  // burn yields (spin_limit_, tuned in the constructor for the host's
+  // core count) before conceding a real sleep.
+  const double deadline = mono_now() + max_wait_seconds;
+  int spins = 0;
+  for (;;) {
+    if (pass()) return;
+    if (mono_now() >= deadline) return;
+    if (++spins < spin_limit_)
+      std::this_thread::yield();
+    else
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+bool ShmComm::peer_gone(int src) const {
+  const Ring& r = in_[static_cast<std::size_t>(src)];
+  if (r.base == nullptr) return false;
+  if (a32(r.base, kOffProducerClosed).load(std::memory_order_acquire) == 0)
+    return false;
+  // Closed AND fully drained: the producer's final messages still count.
+  return a64(r.base, kOffHead).load(std::memory_order_acquire) == r.pos;
+}
+
+void ShmComm::throw_closed(int src, int tag) const {
+  throw comm_error("rank " + std::to_string(cfg_.rank) +
+                   ": connection to rank " + std::to_string(src) +
+                   " closed while waiting for (src=" + std::to_string(src) +
+                   ", tag=" + std::to_string(tag) + ")");
+}
+
+bool ShmComm::try_pop(int src, int tag, std::vector<double>& out) {
+  const auto it = mail_.find({src, tag});
+  if (it == mail_.end() || it->second.empty()) return false;
+  out = std::move(it->second.front());
+  it->second.pop_front();
+  return true;
+}
+
+std::vector<double> ShmComm::recv(int src, int tag) {
+  SLIPFLOW_REQUIRE(src >= 0 && src < cfg_.nranks);
+  const double t0 = mono_now();
+  const double timeout = cfg_.comm.recv_timeout;
+  const double deadline =
+      timeout > 0.0 ? t0 + timeout : std::numeric_limits<double>::infinity();
+  for (;;) {
+    std::vector<double> out;
+    if (try_pop(src, tag, out)) {
+      stats_.recv_wait_seconds += mono_now() - t0;
+      return out;
+    }
+    if (src == cfg_.rank)
+      throw comm_error("rank " + std::to_string(cfg_.rank) +
+                       ": blocking self-recv with empty mailbox would "
+                       "deadlock (tag " + std::to_string(tag) + ")");
+    if (peer_gone(src)) throw_closed(src, tag);
+    const double now = mono_now();
+    if (now >= deadline)
+      throw comm_timeout(
+          "rank " + std::to_string(cfg_.rank) + ": recv timeout after " +
+          std::to_string(timeout) + "s waiting for (src=" +
+          std::to_string(src) + ", tag=" + std::to_string(tag) + ")");
+    progress(std::min(0.1, deadline - now));
+  }
+}
+
+/// Completion = the matching frame has been drained into the mailbox.
+/// test() makes one nonblocking progress pass before giving up, so a
+/// rank that only ever calls test() between compute chunks still
+/// retries its spilled sends and drains arrivals. A cleanly departed
+/// peer surfaces from test() as the same named comm_error a blocking
+/// recv would throw; a pending self-receive just stays incomplete (the
+/// matching self-send may come later from this same thread).
+class ShmComm::Handle final : public RecvHandle {
+ public:
+  Handle(ShmComm& comm, int src, int tag)
+      : comm_(comm), src_(src), tag_(tag) {}
+
+  bool test() override {
+    if (done_) return true;
+    if (comm_.try_pop(src_, tag_, payload_)) return done_ = true;
+    if (src_ != comm_.cfg_.rank) {
+      comm_.progress(0.0);
+      if (comm_.try_pop(src_, tag_, payload_)) return done_ = true;
+      if (comm_.peer_gone(src_)) comm_.throw_closed(src_, tag_);
+    }
+    return false;
+  }
+
+  std::vector<double> wait() override {
+    if (!done_) {
+      payload_ = comm_.recv(src_, tag_);
+      done_ = true;
+    }
+    return std::move(payload_);
+  }
+
+ private:
+  ShmComm& comm_;
+  const int src_, tag_;
+  bool done_ = false;
+  std::vector<double> payload_;
+};
+
+RecvHandlePtr ShmComm::irecv(int src, int tag) {
+  SLIPFLOW_REQUIRE(src >= 0 && src < cfg_.nranks);
+  return std::make_unique<Handle>(*this, src, tag);
+}
+
+std::vector<double> ShmComm::allgather(std::span<const double> mine) {
+  return binomial_allgather(*this, mine);
+}
+
+void ShmComm::barrier() { (void)allgather({}); }
+
+double ShmComm::allreduce_sum(double x) {
+  const std::vector<double> all = allgather(std::span<const double>(&x, 1));
+  double s = 0.0;
+  for (double v : all) s += v;
+  return s;
+}
+
+double ShmComm::allreduce_max(double x) {
+  const std::vector<double> all = allgather(std::span<const double>(&x, 1));
+  double m = all.front();
+  for (double v : all) m = v > m ? v : m;
+  return m;
+}
+
+void ShmComm::note_progress(long long phase) {
+  if (hb_) hb_->note_phase(phase);
+  if (cfg_.fault.kill_at_phase >= 0 && phase >= cfg_.fault.kill_at_phase)
+    ::raise(SIGKILL);
+  if (cfg_.fault.stop_at_phase >= 0 && phase >= cfg_.fault.stop_at_phase)
+    ::raise(SIGSTOP);
+}
+
+ShmStats ShmComm::stats() const {
+  ShmStats s = stats_;
+  s.heartbeats_sent = hb_ ? hb_->count() : 0;
+  return s;
+}
+
+void ShmComm::publish_stats() {
+  if (cfg_.metrics == nullptr) return;
+  const ShmStats s = stats();
+  obs::MetricsRegistry& reg = *cfg_.metrics;
+  const int r = cfg_.rank;
+  reg.add(r, "shm/bytes_sent", static_cast<double>(s.bytes_sent));
+  reg.add(r, "shm/bytes_received", static_cast<double>(s.bytes_received));
+  reg.add(r, "shm/messages_sent", static_cast<double>(s.messages_sent));
+  reg.add(r, "shm/messages_received",
+          static_cast<double>(s.messages_received));
+  reg.add(r, "shm/heartbeats", static_cast<double>(s.heartbeats_sent));
+  reg.add(r, "shm/frames_dropped", static_cast<double>(s.frames_dropped));
+  reg.add(r, "shm/spilled_frames", static_cast<double>(s.spilled_frames));
+  reg.add(r, "shm/spilled_bytes", static_cast<double>(s.spilled_bytes));
+  reg.add(r, "shm/recv_wait_seconds", s.recv_wait_seconds);
+  reg.add(r, "shm/throttle_wait_seconds", s.throttle_wait_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Harnesses.
+
+bool shm_dir_usable(const std::string& dir) {
+  const std::string path =
+      dir + "/.shm_probe." + std::to_string(::getpid());
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_RDWR | O_CLOEXEC,
+                        0600);
+  if (fd < 0) return false;
+  bool ok = false;
+  if (::ftruncate(fd, 4096) == 0) {
+    void* base =
+        ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    if (base != MAP_FAILED) {
+      auto* p = static_cast<std::uint64_t*>(base);
+      *p = kShmMagic;
+      ok = *p == kShmMagic;
+      ::munmap(base, 4096);
+    }
+  }
+  ::close(fd);
+  ::unlink(path.c_str());
+  return ok;
+}
+
+namespace {
+
+std::uint64_t fresh_session() {
+  static std::atomic<std::uint64_t> counter{0};
+  return (static_cast<std::uint64_t>(::getpid()) << 32) ^
+         static_cast<std::uint64_t>(
+             std::chrono::steady_clock::now().time_since_epoch().count()) ^
+         counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+ShmCommConfig harness_config(int rank, int nranks, const std::string& dir,
+                             std::uint64_t session,
+                             const ShmRunOptions& opts) {
+  ShmCommConfig cfg;
+  cfg.rank = rank;
+  cfg.nranks = nranks;
+  cfg.dir = dir;
+  cfg.comm = opts.comm;
+  cfg.connect_timeout = opts.connect_timeout;
+  cfg.ring_bytes = opts.ring_bytes;
+  cfg.session = session;
+  if (opts.faults) cfg.fault = opts.faults(rank);
+  return cfg;
+}
+
+}  // namespace
+
+void run_ranks_shm(int nranks, const std::function<void(Communicator&)>& fn,
+                   const ShmRunOptions& opts) {
+  SLIPFLOW_REQUIRE(nranks >= 1);
+  SLIPFLOW_REQUIRE(fn != nullptr);
+  namespace fs = std::filesystem;
+
+  std::string dir = opts.dir;
+  bool own_dir = false;
+  if (dir.empty() && nranks > 1) {
+    dir = make_socket_temp_dir();
+    own_dir = true;
+  }
+  const std::uint64_t session = fresh_session();
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        const ShmCommConfig cfg = harness_config(r, nranks, dir, session, opts);
+        SLIPFLOW_REQUIRE_MSG(
+            cfg.fault.kill_at_phase < 0 && cfg.fault.stop_at_phase < 0,
+            "run_ranks_shm: kill/stop faults need run_ranks_shm_forked");
+        ShmComm comm(cfg);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (own_dir) {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+void run_ranks_shm_forked(int nranks,
+                          const std::function<void(Communicator&)>& fn,
+                          const ShmRunOptions& opts) {
+  SLIPFLOW_REQUIRE(fn != nullptr);
+  namespace fs = std::filesystem;
+
+  std::string dir = opts.dir;
+  bool own_dir = false;
+  if (dir.empty() && nranks > 1) {
+    dir = make_socket_temp_dir();
+    own_dir = true;
+  }
+  const std::uint64_t session = fresh_session();
+
+  ForkRunOptions fopts;
+  fopts.wall_timeout = opts.wall_timeout;
+  fopts.who = "run_ranks_shm_forked";
+  try {
+    run_ranks_forked(
+        nranks,
+        [&](int r) {
+          ShmComm comm(harness_config(r, nranks, dir, session, opts));
+          fn(comm);
+        },
+        fopts);
+  } catch (...) {
+    if (own_dir) {
+      std::error_code ec;
+      fs::remove_all(dir, ec);
+    }
+    throw;
+  }
+  if (own_dir) {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+}
+
+}  // namespace slipflow::transport

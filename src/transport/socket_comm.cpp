@@ -1,175 +1,43 @@
 #include "transport/socket_comm.hpp"
 
-#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
-#include <sys/stat.h>
-#include <sys/types.h>
 #include <sys/un.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
-#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <limits>
-#include <sstream>
 #include <thread>
 
+#include "transport/collectives.hpp"
+#include "transport/fdio.hpp"
+#include "transport/fork_harness.hpp"
 #include "transport/frame.hpp"
+#include "transport/heartbeat.hpp"
 #include "transport/tempdir.hpp"
 
 namespace slipflow::transport {
 
+using fdio::connect_retry;
+using fdio::make_listener;
+using fdio::mono_now;
+using fdio::recv_frame_blocking;
+using fdio::send_frame_blocking;
+using fdio::set_nonblocking;
+using fdio::throw_errno;
+using fdio::wait_ready;
+
 namespace {
-
-double mono_now() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw comm_error(what + ": " + std::strerror(errno));
-}
 
 std::string rank_sock_path(const std::string& dir, int rank) {
   return dir + "/rank" + std::to_string(rank) + ".sock";
 }
 
 std::string ctl_sock_path(const std::string& dir) { return dir + "/ctl.sock"; }
-
-sockaddr_un make_addr(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  SLIPFLOW_REQUIRE_MSG(path.size() + 1 <= sizeof(addr.sun_path),
-                       "unix socket path too long: " << path);
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  return addr;
-}
-
-int make_listener(const std::string& path, int backlog) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) throw_errno("socket(listener " + path + ")");
-  ::unlink(path.c_str());
-  const sockaddr_un addr = make_addr(path);
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    throw_errno("bind(" + path + ")");
-  }
-  if (::listen(fd, backlog) < 0) {
-    ::close(fd);
-    throw_errno("listen(" + path + ")");
-  }
-  return fd;
-}
-
-/// Dial `path`, retrying "not there yet" failures until the deadline —
-/// this is what makes worker startup order irrelevant.
-int connect_retry(const std::string& path, double deadline,
-                  const std::string& who) {
-  for (;;) {
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (fd < 0) throw_errno("socket(" + path + ")");
-    const sockaddr_un addr = make_addr(path);
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) == 0)
-      return fd;
-    const int err = errno;
-    ::close(fd);
-    if (err != ECONNREFUSED && err != ENOENT && err != EAGAIN) {
-      errno = err;
-      throw_errno("connect(" + path + ")");
-    }
-    if (mono_now() >= deadline)
-      throw comm_timeout(who + ": connect to " + path + " timed out");
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-}
-
-/// Wait (bounded) until fd is ready for `events`; throws comm_timeout
-/// naming `what` on expiry.
-void wait_ready(int fd, short events, double deadline,
-                const std::string& what) {
-  for (;;) {
-    const double remaining = deadline - mono_now();
-    if (remaining <= 0.0) throw comm_timeout(what + ": timed out");
-    pollfd p{fd, events, 0};
-    const int rc = ::poll(&p, 1, static_cast<int>(remaining * 1000) + 1);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("poll(" + what + ")");
-    }
-    if (rc > 0) return;
-  }
-}
-
-void write_exact(int fd, const std::byte* data, std::size_t n,
-                 double deadline, const std::string& what) {
-  std::size_t off = 0;
-  while (off < n) {
-    const ssize_t w =
-        ::send(fd, data + off, n - off, MSG_NOSIGNAL);
-    if (w > 0) {
-      off += static_cast<std::size_t>(w);
-      continue;
-    }
-    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      wait_ready(fd, POLLOUT, deadline, what);
-      continue;
-    }
-    if (w < 0 && errno == EINTR) continue;
-    throw_errno("send(" + what + ")");
-  }
-}
-
-void read_exact(int fd, std::byte* data, std::size_t n, double deadline,
-                const std::string& what) {
-  std::size_t off = 0;
-  while (off < n) {
-    wait_ready(fd, POLLIN, deadline, what);
-    const ssize_t r = ::read(fd, data + off, n - off);
-    if (r > 0) {
-      off += static_cast<std::size_t>(r);
-      continue;
-    }
-    if (r == 0) throw comm_error(what + ": connection closed during setup");
-    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-    throw_errno("read(" + what + ")");
-  }
-}
-
-/// Blocking send of a payload-free or small frame during setup.
-void send_frame_blocking(int fd, const FrameHeader& h,
-                         std::span<const double> payload, double deadline,
-                         const std::string& what) {
-  const auto hdr = encode_frame_header(h);
-  write_exact(fd, hdr.data(), hdr.size(), deadline, what);
-  if (!payload.empty())
-    write_exact(fd, reinterpret_cast<const std::byte*>(payload.data()),
-                payload.size() * sizeof(double), deadline, what);
-}
-
-FrameHeader recv_frame_blocking(int fd, std::vector<double>& payload,
-                                double deadline, const std::string& what) {
-  std::array<std::byte, kFrameHeaderBytes> hdr;
-  read_exact(fd, hdr.data(), hdr.size(), deadline, what);
-  const FrameHeader h = decode_frame_header(hdr);
-  payload.resize(h.count);
-  if (h.count > 0)
-    read_exact(fd, reinterpret_cast<std::byte*>(payload.data()),
-               h.count * sizeof(double), deadline, what);
-  return h;
-}
-
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
-    throw_errno("fcntl(O_NONBLOCK)");
-}
 
 }  // namespace
 
@@ -185,7 +53,10 @@ SocketComm::SocketComm(SocketCommConfig cfg) : cfg_(std::move(cfg)) {
   peers_.resize(static_cast<std::size_t>(cfg_.nranks));
   // Heartbeats start before the rendezvous so a rank stuck in connection
   // setup is already visible to the launcher's monitor.
-  if (!cfg_.heartbeat_path.empty()) start_heartbeat();
+  if (!cfg_.heartbeat_path.empty())
+    hb_ = std::make_unique<HeartbeatSender>(cfg_.rank, cfg_.heartbeat_path,
+                                            cfg_.heartbeat_interval,
+                                            cfg_.connect_timeout);
   if (cfg_.nranks > 1) setup_mesh();
 }
 
@@ -285,7 +156,7 @@ void SocketComm::setup_mesh() {
 }
 
 SocketComm::~SocketComm() {
-  stop_heartbeat();
+  hb_.reset();
   // Best-effort flush so a rank that finishes early does not strand
   // messages its peers still want (eager-send contract); bounded so
   // teardown can never hang.
@@ -560,77 +431,8 @@ RecvHandlePtr SocketComm::irecv(int src, int tag) {
   return std::make_unique<Handle>(*this, src, tag);
 }
 
-namespace {
-// Reserved tags of the collective trees; user tags are non-negative.
-constexpr int kTagGatherTree = -101;
-constexpr int kTagBcastTree = -102;
-}  // namespace
-
 std::vector<double> SocketComm::allgather(std::span<const double> mine) {
-  const int n = cfg_.nranks;
-  const int me = cfg_.rank;
-  if (n == 1) return {mine.begin(), mine.end()};
-
-  // Binomial gather toward rank 0. Each message packs the sender's
-  // collected contiguous rank range as [k, (rank_i, count_i)*k, payloads
-  // in listed order], which keeps ragged contribution sizes exact.
-  std::map<int, std::vector<double>> parts;
-  parts[me] = {mine.begin(), mine.end()};
-  for (int step = 1; step < n; step <<= 1) {
-    if (me & step) {
-      std::vector<double> msg;
-      msg.push_back(static_cast<double>(parts.size()));
-      for (const auto& [r, v] : parts) {
-        msg.push_back(static_cast<double>(r));
-        msg.push_back(static_cast<double>(v.size()));
-      }
-      for (const auto& [r, v] : parts) {
-        (void)r;
-        msg.insert(msg.end(), v.begin(), v.end());
-      }
-      send(me - step, kTagGatherTree, msg);
-      parts.clear();
-      break;
-    }
-    if (me + step < n) {
-      const std::vector<double> msg = recv(me + step, kTagGatherTree);
-      SLIPFLOW_REQUIRE(!msg.empty());
-      const auto k = static_cast<std::size_t>(msg[0]);
-      std::size_t off = 1 + 2 * k;
-      for (std::size_t i = 0; i < k; ++i) {
-        const int r = static_cast<int>(msg[1 + 2 * i]);
-        const auto cnt = static_cast<std::size_t>(msg[2 + 2 * i]);
-        SLIPFLOW_REQUIRE(r >= 0 && r < n && off + cnt <= msg.size());
-        parts[r].assign(msg.begin() + static_cast<std::ptrdiff_t>(off),
-                        msg.begin() + static_cast<std::ptrdiff_t>(off + cnt));
-        off += cnt;
-      }
-    }
-  }
-
-  // Rank 0 concatenates in rank order — the exact layout ThreadComm's
-  // shared-memory allgather produces — then a binomial broadcast.
-  std::vector<double> result;
-  if (me == 0) {
-    SLIPFLOW_REQUIRE_MSG(static_cast<int>(parts.size()) == n,
-                         "allgather: missing contributions");
-    for (int r = 0; r < n; ++r) {
-      const auto& v = parts.at(r);
-      result.insert(result.end(), v.begin(), v.end());
-    }
-  }
-  int rounds = 0;
-  while ((1 << rounds) < n) ++rounds;
-  bool have = me == 0;
-  for (int step = 1 << (rounds - 1); step >= 1; step >>= 1) {
-    if (have && me % (2 * step) == 0 && me + step < n)
-      send(me + step, kTagBcastTree, result);
-    else if (!have && me % (2 * step) == step) {
-      result = recv(me - step, kTagBcastTree);
-      have = true;
-    }
-  }
-  return result;
+  return binomial_allgather(*this, mine);
 }
 
 void SocketComm::barrier() { (void)allgather({}); }
@@ -650,64 +452,16 @@ double SocketComm::allreduce_max(double x) {
 }
 
 void SocketComm::note_progress(long long phase) {
-  progress_phase_.store(phase, std::memory_order_relaxed);
+  if (hb_) hb_->note_phase(phase);
   if (cfg_.fault.kill_at_phase >= 0 && phase >= cfg_.fault.kill_at_phase)
     ::raise(SIGKILL);
   if (cfg_.fault.stop_at_phase >= 0 && phase >= cfg_.fault.stop_at_phase)
     ::raise(SIGSTOP);
 }
 
-void SocketComm::start_heartbeat() {
-  const double deadline = mono_now() + cfg_.connect_timeout;
-  hb_fd_ = connect_retry(cfg_.heartbeat_path, deadline,
-                         "rank " + std::to_string(cfg_.rank) + ": heartbeat");
-  hb_thread_ = std::thread([this] {
-    long long seq = 0;
-    for (;;) {
-      FrameHeader h;
-      h.kind = FrameKind::kHeartbeat;
-      h.src = cfg_.rank;
-      h.count = 2;
-      const double payload[2] = {
-          static_cast<double>(progress_phase_.load(std::memory_order_relaxed)),
-          static_cast<double>(seq++)};
-      const auto hdr = encode_frame_header(h);
-      std::byte frame[kFrameHeaderBytes + 2 * sizeof(double)];
-      std::memcpy(frame, hdr.data(), hdr.size());
-      std::memcpy(frame + hdr.size(), payload, sizeof(payload));
-      // Blocking write on the heartbeat's own fd; the monitor always
-      // drains, and a dead monitor (EPIPE) just ends the beats.
-      if (::send(hb_fd_, frame, sizeof(frame), MSG_NOSIGNAL) < 0) return;
-      hb_count_.fetch_add(1, std::memory_order_relaxed);
-      std::unique_lock<std::mutex> lk(hb_mu_);
-      if (hb_cv_.wait_for(lk,
-                          std::chrono::duration<double>(
-                              cfg_.heartbeat_interval),
-                          [this] { return hb_stop_; }))
-        return;
-    }
-  });
-}
-
-void SocketComm::stop_heartbeat() {
-  if (!hb_thread_.joinable()) {
-    if (hb_fd_ >= 0) ::close(hb_fd_);
-    hb_fd_ = -1;
-    return;
-  }
-  {
-    std::lock_guard<std::mutex> lk(hb_mu_);
-    hb_stop_ = true;
-  }
-  hb_cv_.notify_all();
-  hb_thread_.join();
-  ::close(hb_fd_);
-  hb_fd_ = -1;
-}
-
 SocketStats SocketComm::stats() const {
   SocketStats s = stats_;
-  s.heartbeats_sent = hb_count_.load(std::memory_order_relaxed);
+  s.heartbeats_sent = hb_ ? hb_->count() : 0;
   return s;
 }
 
@@ -733,147 +487,45 @@ void SocketComm::publish_stats() {
 void run_ranks_sockets(int nranks,
                        const std::function<void(Communicator&)>& fn,
                        const SocketRunOptions& opts) {
-  SLIPFLOW_REQUIRE(nranks >= 1);
   SLIPFLOW_REQUIRE(fn != nullptr);
   namespace fs = std::filesystem;
 
   std::string dir = opts.dir;
   bool own_dir = false;
-  if (dir.empty()) {
+  if (dir.empty() && nranks > 1) {
     dir = make_socket_temp_dir();
     own_dir = true;
   }
 
-  struct Child {
-    pid_t pid = -1;
-    int err_fd = -1;
-    bool done = false;
-    int status = 0;
-    std::string err;
-  };
-  std::vector<Child> children(static_cast<std::size_t>(nranks));
-
-  // Parent-side buffered stdio must not leak duplicated output into the
-  // children.
-  std::fflush(stdout);
-  std::fflush(stderr);
-
-  for (int r = 0; r < nranks; ++r) {
-    int pipefd[2];
-    if (::pipe(pipefd) < 0) throw_errno("pipe");
-    const pid_t pid = ::fork();
-    if (pid < 0) throw_errno("fork");
-    if (pid == 0) {
-      // --- child: run the rank, report failure via exit code + stderr.
-      ::close(pipefd[0]);
-      ::dup2(pipefd[1], 2);
-      ::close(pipefd[1]);
-      int code = 0;
-      try {
-        SocketCommConfig cfg;
-        cfg.rank = r;
-        cfg.nranks = nranks;
-        cfg.dir = dir;
-        cfg.comm = opts.comm;
-        cfg.connect_timeout = opts.connect_timeout;
-        if (opts.faults) cfg.fault = opts.faults(r);
-        SocketComm comm(cfg);
-        fn(comm);
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "rank %d: %s\n", r, e.what());
-        code = 3;
-      } catch (...) {
-        std::fprintf(stderr, "rank %d: unknown exception\n", r);
-        code = 3;
-      }
-      std::fflush(nullptr);
-      ::_exit(code);
+  ForkRunOptions fopts;
+  fopts.wall_timeout = opts.wall_timeout;
+  fopts.who = "run_ranks_sockets";
+  try {
+    run_ranks_forked(
+        nranks,
+        [&](int r) {
+          SocketCommConfig cfg;
+          cfg.rank = r;
+          cfg.nranks = nranks;
+          cfg.dir = dir;
+          cfg.comm = opts.comm;
+          cfg.connect_timeout = opts.connect_timeout;
+          if (opts.faults) cfg.fault = opts.faults(r);
+          SocketComm comm(cfg);
+          fn(comm);
+        },
+        fopts);
+  } catch (...) {
+    if (own_dir) {
+      std::error_code ec;
+      fs::remove_all(dir, ec);
     }
-    ::close(pipefd[1]);
-    set_nonblocking(pipefd[0]);
-    children[static_cast<std::size_t>(r)] =
-        Child{pid, pipefd[0], false, 0, {}};
+    throw;
   }
-
-  const double deadline = mono_now() + opts.wall_timeout;
-  bool timed_out = false;
-  auto drain_err = [&children] {
-    char buf[4096];
-    for (Child& c : children) {
-      if (c.err_fd < 0) continue;
-      for (;;) {
-        const ssize_t n = ::read(c.err_fd, buf, sizeof(buf));
-        if (n > 0) {
-          c.err.append(buf, static_cast<std::size_t>(n));
-          continue;
-        }
-        if (n == 0) {
-          ::close(c.err_fd);
-          c.err_fd = -1;
-        }
-        break;
-      }
-    }
-  };
-
-  int running = nranks;
-  while (running > 0) {
-    drain_err();
-    for (Child& c : children) {
-      if (c.done) continue;
-      int status = 0;
-      const pid_t w = ::waitpid(c.pid, &status, WNOHANG);
-      if (w == c.pid) {
-        c.done = true;
-        c.status = status;
-        --running;
-      }
-    }
-    if (running == 0) break;
-    if (mono_now() >= deadline) {
-      timed_out = true;
-      for (Child& c : children)
-        if (!c.done) ::kill(c.pid, SIGKILL);
-      for (Child& c : children) {
-        if (c.done) continue;
-        ::waitpid(c.pid, &c.status, 0);
-        c.done = true;
-      }
-      break;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
-  drain_err();
-  for (Child& c : children)
-    if (c.err_fd >= 0) ::close(c.err_fd);
   if (own_dir) {
     std::error_code ec;
     fs::remove_all(dir, ec);
   }
-
-  std::ostringstream diag;
-  bool failed = timed_out;
-  for (int r = 0; r < nranks; ++r) {
-    const Child& c = children[static_cast<std::size_t>(r)];
-    if (WIFSIGNALED(c.status))
-      diag << "rank " << r << " killed by signal " << WTERMSIG(c.status)
-           << "\n";
-    else if (WIFEXITED(c.status) && WEXITSTATUS(c.status) != 0)
-      diag << "rank " << r << " exited with code " << WEXITSTATUS(c.status)
-           << "\n";
-    else
-      continue;
-    failed = true;
-  }
-  if (!failed) return;
-  for (int r = 0; r < nranks; ++r) {
-    const Child& c = children[static_cast<std::size_t>(r)];
-    if (!c.err.empty()) diag << c.err;
-  }
-  if (timed_out)
-    throw comm_timeout("run_ranks_sockets: wall timeout after " +
-                       std::to_string(opts.wall_timeout) + "s\n" + diag.str());
-  throw comm_error("run_ranks_sockets: rank failure\n" + diag.str());
 }
 
 }  // namespace slipflow::transport

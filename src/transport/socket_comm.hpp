@@ -28,46 +28,21 @@
 /// delay, token-bucket throttling) drives the robustness tests and the
 /// real-process remapping benchmarks.
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "transport/communicator.hpp"
+#include "transport/fault.hpp"
 
 namespace slipflow::transport {
 
-/// Deterministic fault injection on one rank's endpoint. All triggers
-/// are counted/phase-based, never randomized, so a failing run replays.
-struct FaultInjection {
-  /// raise(SIGKILL) when note_progress reaches this phase (< 0 = off):
-  /// the hard-crash case the launcher must turn into a named-rank error.
-  long long kill_at_phase = -1;
-  /// raise(SIGSTOP) at this phase (< 0 = off): the process freezes —
-  /// heartbeats included — which is what the launcher's heartbeat
-  /// monitor exists to catch.
-  long long stop_at_phase = -1;
-  /// Drop the first `drop_count` outgoing data frames whose destination
-  /// matches `drop_dest` (-1 = any; -2 = injection off) and whose tag
-  /// matches `drop_tag` (-1 = any). The receiver's bounded recv then
-  /// reports the missing (src, tag) instead of hanging.
-  int drop_dest = -2;
-  int drop_tag = -1;
-  int drop_count = 1;
-  /// Sleep this long before every outgoing data frame (seconds).
-  double send_delay = 0.0;
-  /// Token-bucket bound on this rank's outgoing byte rate (bytes/s,
-  /// 0 = unlimited) with a 0.1 s burst allowance — emulates the slow
-  /// NIC / loaded host of the paper's non-dedicated nodes.
-  double throttle_bytes_per_sec = 0.0;
-};
+class HeartbeatSender;  // heartbeat.hpp
 
 /// Transport-level counters of one endpoint (see also the `socket/*`
 /// metrics published by publish_stats()).
@@ -147,8 +122,6 @@ class SocketComm final : public Communicator {
   };
 
   void setup_mesh();
-  void start_heartbeat();
-  void stop_heartbeat();
   void enqueue_data(int dest, int tag, std::span<const double> data);
   /// Flush as much of the peer's outbox as the kernel accepts right now.
   void flush_peer(int peer);
@@ -171,13 +144,7 @@ class SocketComm final : public Communicator {
   double throttle_last_ = 0.0;
   int drop_remaining_ = 0;
 
-  int hb_fd_ = -1;
-  std::thread hb_thread_;
-  std::mutex hb_mu_;
-  std::condition_variable hb_cv_;
-  bool hb_stop_ = false;
-  std::atomic<long long> hb_count_{0};
-  std::atomic<long long> progress_phase_{-1};
+  std::unique_ptr<HeartbeatSender> hb_;
 };
 
 /// In-process harness mirroring run_ranks() for the socket backend:

@@ -1,0 +1,308 @@
+// Async I/O pipeline: the obs::AsyncWriter contract (jobs never lost,
+// flush as the error rendezvous, buffer recycling) and the ParallelLbm
+// output integration — bytes written through the background writer must
+// be identical to the synchronous path, periodic outputs must all be on
+// disk by the time run() returns, and enabling async output must not
+// perturb the physics or the load balancer's injected-clock sequence.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lbm/checkpoint.hpp"
+#include "obs/async_writer.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "sim/parallel_lbm.hpp"
+#include "transport/tempdir.hpp"
+#include "transport/thread_comm.hpp"
+
+using namespace slipflow;
+using namespace slipflow::obs;
+
+namespace {
+
+struct DirGuard {
+  std::string dir;
+  DirGuard() : dir(transport::make_socket_temp_dir()) {}
+  ~DirGuard() { std::filesystem::remove_all(dir); }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> b(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) b[i] = std::byte(s[i]);
+  return b;
+}
+
+}  // namespace
+
+TEST(AsyncWriter, WholeFileJobsLandAfterFlush) {
+  DirGuard g;
+  AsyncWriter w;
+  w.submit_file(g.dir + "/a.txt", std::string("hello async"));
+  w.submit_file(g.dir + "/b.bin", bytes_of("binary payload"));
+  w.flush();
+  EXPECT_EQ(read_file(g.dir + "/a.txt"), "hello async");
+  EXPECT_EQ(read_file(g.dir + "/b.bin"), "binary payload");
+  const AsyncWriterStats s = w.stats();
+  EXPECT_EQ(s.jobs_written, 2);
+  EXPECT_EQ(s.bytes_written,
+            static_cast<long long>(std::string("hello async").size() +
+                                   std::string("binary payload").size()));
+  EXPECT_EQ(s.bytes_queued, s.bytes_written);
+}
+
+TEST(AsyncWriter, ResubmittingAPathOverwrites) {
+  DirGuard g;
+  AsyncWriter w;
+  w.submit_file(g.dir + "/f.txt", std::string("first, longer content"));
+  w.submit_file(g.dir + "/f.txt", std::string("second"));
+  w.flush();
+  EXPECT_EQ(read_file(g.dir + "/f.txt"), "second");
+}
+
+TEST(AsyncWriter, PositionalWritesComposeAPresizedFile) {
+  DirGuard g;
+  const std::string path = g.dir + "/planes.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << std::string(16, '.');
+  }
+  AsyncWriter w;
+  w.submit_pwrite(path, 0, bytes_of("AAAA"));
+  w.submit_pwrite(path, 8, bytes_of("BBBB"));
+  w.flush();
+  EXPECT_EQ(read_file(path), "AAAA....BBBB....");
+}
+
+TEST(AsyncWriter, FlushRethrowsTheWriterError) {
+  DirGuard g;
+  AsyncWriter w;
+  w.submit_file(g.dir + "/no/such/dir/f.txt", std::string("lost"));
+  EXPECT_THROW(w.flush(), std::runtime_error);
+}
+
+TEST(AsyncWriter, DestructorDrainsAcceptedJobs) {
+  DirGuard g;
+  {
+    AsyncWriter w;
+    w.submit_file(g.dir + "/drained.txt", std::string("must survive"));
+    // no flush — the destructor is the drain
+  }
+  EXPECT_EQ(read_file(g.dir + "/drained.txt"), "must survive");
+}
+
+TEST(AsyncWriter, TakeBufferRecyclesCompletedJobBuffers) {
+  DirGuard g;
+  AsyncWriter w;
+  EXPECT_TRUE(w.take_buffer().empty());  // nothing completed yet
+  w.submit_file(g.dir + "/x.bin", std::vector<std::byte>(4096));
+  w.flush();
+  const std::vector<std::byte> recycled = w.take_buffer();
+  EXPECT_TRUE(recycled.empty());  // cleared, ready for the next snapshot
+  EXPECT_GE(recycled.capacity(), 4096u);  // ...but the allocation survives
+}
+
+TEST(AsyncWriter, PublishWritesIoCounters) {
+  DirGuard g;
+  AsyncWriter w;
+  w.submit_file(g.dir + "/m.bin", std::vector<std::byte>(100));
+  w.flush();
+  MetricsRegistry reg(1);
+  w.publish(reg, 0);
+  EXPECT_DOUBLE_EQ(reg.counter(0, "io/bytes_queued"), 100.0);
+  EXPECT_DOUBLE_EQ(reg.counter(0, "io/jobs_written"), 1.0);
+}
+
+// ---- ParallelLbm integration ---------------------------------------
+
+namespace {
+
+const lbm::Extents kGrid{12, 6, 4};
+
+/// Run `ranks` ranks for `phases` phases with the given output options,
+/// deterministic injected clocks, and the conservative remap policy (so
+/// the balancer's clock sequence is live and would notice a perturbed
+/// schedule). Returns the rank-0 velocity profile.
+std::vector<double> output_leg(int ranks, int phases,
+                               const sim::OutputOptions& out,
+                               obs::MetricsRegistry* metrics = nullptr) {
+  sim::RunnerConfig cfg;
+  cfg.global = kGrid;
+  cfg.fluid = lbm::FluidParams::microchannel_defaults();
+  cfg.policy = "conservative";
+  cfg.remap_interval = 5;
+  cfg.clock_factory = [](int) { return std::make_shared<CountingClock>(); };
+  cfg.output = out;
+  cfg.metrics = metrics;
+  std::vector<double> profile;
+  std::mutex mu;
+  transport::run_ranks(ranks, [&](transport::Communicator& comm) {
+    sim::ParallelLbm run(cfg, comm);
+    run.initialize_uniform();
+    run.run(phases);
+    auto u = run.gather_velocity_profile_y(kGrid.nx / 2, 2);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      profile = std::move(u);
+    }
+  });
+  return profile;
+}
+
+}  // namespace
+
+TEST(AsyncIo, AsyncCheckpointBytesMatchSync) {
+  DirGuard g;
+  sim::OutputOptions async_out;
+  async_out.checkpoint_every = 5;
+  async_out.checkpoint_prefix = g.dir + "/async";
+  async_out.async = true;
+  sim::OutputOptions sync_out = async_out;
+  sync_out.checkpoint_prefix = g.dir + "/sync";
+  sync_out.async = false;
+
+  (void)output_leg(2, 15, async_out);
+  (void)output_leg(2, 15, sync_out);
+
+  for (int phase : {5, 10, 15}) {
+    const std::string tag = "." + std::to_string(phase) + ".ckpt";
+    const std::string a = read_file(g.dir + "/async" + tag);
+    const std::string s = read_file(g.dir + "/sync" + tag);
+    ASSERT_FALSE(a.empty()) << phase;
+    EXPECT_EQ(a, s) << "checkpoint bytes diverge at phase " << phase;
+    // and the async file is a valid checkpoint in its own right
+    const auto info = lbm::read_checkpoint_info(g.dir + "/async" + tag);
+    EXPECT_EQ(info.global, kGrid);
+    EXPECT_EQ(info.phase, phase);
+  }
+}
+
+TEST(AsyncIo, AsyncVtkBytesMatchSync) {
+  DirGuard g;
+  sim::OutputOptions async_out;
+  async_out.vtk_every = 7;
+  async_out.vtk_prefix = g.dir + "/async";
+  async_out.async = true;
+  sim::OutputOptions sync_out = async_out;
+  sync_out.vtk_prefix = g.dir + "/sync";
+  sync_out.async = false;
+
+  (void)output_leg(2, 14, async_out);
+  (void)output_leg(2, 14, sync_out);
+
+  for (int phase : {7, 14}) {
+    for (int rank : {0, 1}) {
+      const std::string tag =
+          "." + std::to_string(phase) + ".r" + std::to_string(rank) + ".vtk";
+      const std::string a = read_file(g.dir + "/async" + tag);
+      ASSERT_FALSE(a.empty()) << tag;
+      EXPECT_EQ(a, read_file(g.dir + "/sync" + tag))
+          << "VTK bytes diverge for " << tag;
+    }
+  }
+}
+
+TEST(AsyncIo, AsyncOutputDoesNotPerturbObservables) {
+  // Same injected clocks, same live balancer; the only difference is
+  // whether snapshots take the background-writer path, which must be
+  // invisible to the physics AND to the balancer's clock sequence.
+  DirGuard g;
+  sim::OutputOptions none;
+  sim::OutputOptions async_out;
+  async_out.checkpoint_every = 3;
+  async_out.checkpoint_prefix = g.dir + "/a";
+  async_out.vtk_every = 4;
+  async_out.vtk_prefix = g.dir + "/a";
+  async_out.async = true;
+  sim::OutputOptions sync_out = async_out;
+  sync_out.checkpoint_prefix = g.dir + "/s";
+  sync_out.vtk_prefix = g.dir + "/s";
+  sync_out.async = false;
+
+  const auto u_none = output_leg(3, 20, none);
+  const auto u_async = output_leg(3, 20, async_out);
+  const auto u_sync = output_leg(3, 20, sync_out);
+  ASSERT_EQ(u_async.size(), u_none.size());
+  ASSERT_EQ(u_sync.size(), u_none.size());
+  for (std::size_t j = 0; j < u_none.size(); ++j) {
+    EXPECT_DOUBLE_EQ(u_async[j], u_none[j]) << j;
+    EXPECT_DOUBLE_EQ(u_sync[j], u_none[j]) << j;
+  }
+}
+
+TEST(AsyncIo, RunFlushesPeriodicOutputsByItsEnd) {
+  DirGuard g;
+  sim::OutputOptions out;
+  out.checkpoint_every = 4;
+  out.checkpoint_prefix = g.dir + "/flush";
+  out.vtk_every = 4;
+  out.vtk_prefix = g.dir + "/flush";
+  out.async = true;
+  (void)output_leg(2, 8, out);
+  // run() returned on every rank, so every queued job is on disk — no
+  // extra flush call from the caller.
+  for (int phase : {4, 8}) {
+    const std::string tag = std::to_string(phase);
+    EXPECT_TRUE(std::filesystem::exists(g.dir + "/flush." + tag + ".ckpt"));
+    EXPECT_TRUE(
+        std::filesystem::exists(g.dir + "/flush." + tag + ".r0.vtk"));
+    EXPECT_TRUE(
+        std::filesystem::exists(g.dir + "/flush." + tag + ".r1.vtk"));
+  }
+}
+
+TEST(AsyncIo, MidRunFlushMakesAsyncCheckpointReadable) {
+  DirGuard g;
+  const std::string path = g.dir + "/mid.ckpt";
+  sim::RunnerConfig cfg;
+  cfg.global = kGrid;
+  cfg.fluid = lbm::FluidParams::microchannel_defaults();
+  transport::run_ranks(2, [&](transport::Communicator& comm) {
+    sim::ParallelLbm run(cfg, comm);
+    run.initialize_uniform();
+    run.run(4);
+    run.save_checkpoint_async(path, 4);
+    run.flush_output();
+    comm.barrier();  // every rank's planes are on disk past this point
+    if (comm.rank() == 0) {
+      const auto info = lbm::read_checkpoint_info(path);
+      EXPECT_EQ(info.phase, 4);
+      EXPECT_EQ(info.global, kGrid);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(AsyncIo, IoGaugesPublishedAfterAsyncRun) {
+  DirGuard g;
+  sim::OutputOptions out;
+  out.checkpoint_every = 5;
+  out.checkpoint_prefix = g.dir + "/gauge";
+  out.async = true;
+  obs::MetricsRegistry reg(2);
+  (void)output_leg(2, 10, out, &reg);
+  for (int rank : {0, 1}) {
+    ASSERT_TRUE(reg.has_gauge(rank, "io/bytes_written")) << rank;
+    EXPECT_GT(reg.gauge(rank, "io/bytes_written"), 0.0) << rank;
+    ASSERT_TRUE(reg.has_gauge(rank, "io/jobs_written")) << rank;
+    EXPECT_GT(reg.gauge(rank, "io/jobs_written"), 0.0) << rank;
+    EXPECT_TRUE(reg.has_gauge(rank, "time/io_async")) << rank;
+    EXPECT_TRUE(reg.has_gauge(rank, "io/bytes_queued")) << rank;
+  }
+}

@@ -72,9 +72,11 @@ std::string run_over_threads() {
   return observables;
 }
 
-transport::LaunchConfig worker_launch(const std::string& observables_out) {
+transport::LaunchConfig worker_launch(const std::string& observables_out,
+                                      const std::string& transport = "") {
   transport::LaunchConfig lc;
   lc.ranks = kRanks;
+  lc.transport = transport;
   lc.worker_command = {SLIPFLOW_WORKER_EXE,
                        "--nx=16",
                        "--ny=6",
@@ -117,6 +119,51 @@ TEST(MultiProcess, SocketObservablesAreByteIdenticalToThreads) {
   EXPECT_EQ(socket_obs.find("rank 1 planes 4 sent 0"), std::string::npos)
       << "expected rank 1 to migrate planes away:\n"
       << socket_obs.substr(0, 400);
+}
+
+TEST(MultiProcess, ShmObservablesAreByteIdenticalToSocketAndThreads) {
+  // Same launch, halos over shared-memory rings instead of sockets: the
+  // observables must not move by a single byte.
+  const std::string out_shm = temp_path("obs_shm");
+  const transport::LaunchResult rs =
+      transport::launch_workers(worker_launch(out_shm, "shm"));
+  ASSERT_TRUE(rs.ok) << rs.diagnostic;
+  const std::string shm_obs = read_file(out_shm);
+  std::remove(out_shm.c_str());
+
+  const std::string out_sock = temp_path("obs_sock_ref");
+  const transport::LaunchResult rk =
+      transport::launch_workers(worker_launch(out_sock, "socket"));
+  ASSERT_TRUE(rk.ok) << rk.diagnostic;
+  const std::string socket_obs = read_file(out_sock);
+  std::remove(out_sock.c_str());
+
+  ASSERT_FALSE(shm_obs.empty());
+  EXPECT_EQ(shm_obs, socket_obs)
+      << "shm workers diverged from socket workers";
+  EXPECT_EQ(shm_obs, run_over_threads())
+      << "shm workers diverged from the in-process reference";
+  // migrations really happened over the rings
+  EXPECT_EQ(shm_obs.find("rank 1 planes 4 sent 0"), std::string::npos)
+      << "expected rank 1 to migrate planes away:\n"
+      << shm_obs.substr(0, 400);
+}
+
+TEST(MultiProcess, ShmKilledRankIsNamedWithinTimeout) {
+  // The supervision story must not regress on the shm transport: a rank
+  // SIGKILLed mid-run is still named, and the run still ends promptly.
+  transport::LaunchConfig lc =
+      worker_launch(temp_path("obs_shm_killed"), "shm");
+  lc.worker_command.back() = "--phases=5000";  // replace observables-out
+  lc.wall_clock_timeout = 60.0;
+  lc.extra_args[2] = {"--fault-kill-phase=40"};
+  const transport::LaunchResult res = transport::launch_workers(lc);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.failed_rank, 2) << res.diagnostic;
+  EXPECT_NE(res.diagnostic.find("rank 2 killed by signal 9"),
+            std::string::npos)
+      << res.diagnostic;
+  EXPECT_LT(res.elapsed_seconds, 60.0);
 }
 
 TEST(MultiProcess, RepeatedSocketRunsAreByteIdentical) {

@@ -87,12 +87,14 @@ std::string read_file(const std::string& path) {
   return os.str();
 }
 
-/// Fork real worker processes with the given step schedule and return
-/// rank 0's observables.
-std::string run_sockets(int ranks, const std::string& step, int threads) {
-  const std::string out = temp_path("obs_overlap_" + step);
+/// Fork real worker processes with the given step schedule and transport
+/// ("socket" or "shm") and return rank 0's observables.
+std::string run_workers(int ranks, const std::string& step, int threads,
+                        const std::string& transport) {
+  const std::string out = temp_path("obs_overlap_" + step + "_" + transport);
   transport::LaunchConfig lc;
   lc.ranks = ranks;
+  lc.transport = transport;
   lc.worker_command = {SLIPFLOW_WORKER_EXE,
                        "--nx=16",
                        "--ny=6",
@@ -118,6 +120,10 @@ std::string run_sockets(int ranks, const std::string& step, int threads) {
   const std::string obs = read_file(out);
   std::remove(out.c_str());
   return obs;
+}
+
+std::string run_sockets(int ranks, const std::string& step, int threads) {
+  return run_workers(ranks, step, threads, "socket");
 }
 
 }  // namespace
@@ -202,4 +208,27 @@ TEST(OverlapSocket, BlockingFlagStillSupported) {
   const std::string socket_obs = run_sockets(2, "blocking", 1);
   ASSERT_FALSE(socket_obs.empty());
   EXPECT_EQ(socket_obs, run_threads(2, sim::StepMode::blocking, 1));
+}
+
+// --- differential transport matrix (forks, hence the "Socket" name) ---
+
+TEST(OverlapSocket, ShmWorkersMatchThreadAndSocketByByte) {
+  // The tightest cross-transport guarantee in the suite: a 4-rank
+  // overlapped run with live plane migrations and mid-run plan rebuilds
+  // must produce byte-identical observables whether halos ride threads,
+  // Unix-domain sockets, or shared-memory rings.
+  const std::string thread_obs = run_threads(4, sim::StepMode::overlap, 2);
+  ASSERT_FALSE(thread_obs.empty());
+  EXPECT_EQ(run_workers(4, "overlap", 2, "shm"), thread_obs)
+      << "shm workers diverged from the thread backend";
+  EXPECT_EQ(run_workers(4, "overlap", 2, "socket"), thread_obs)
+      << "socket workers diverged from the thread backend";
+}
+
+TEST(OverlapSocket, AutoTransportResolvesAndMatches) {
+  // "auto" must pick shm here (the socket dir is mmap-able tmpfs/disk)
+  // and still land on the same bytes.
+  const std::string auto_obs = run_workers(2, "overlap", 2, "auto");
+  ASSERT_FALSE(auto_obs.empty());
+  EXPECT_EQ(auto_obs, run_threads(2, sim::StepMode::overlap, 2));
 }

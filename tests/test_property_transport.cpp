@@ -43,7 +43,8 @@ std::vector<Send> make_schedule(std::uint64_t seed, int ranks, int count) {
 class TransportStorm : public ::testing::TestWithParam<Backend> {};
 
 INSTANTIATE_TEST_SUITE_P(ConcurrentBackends, TransportStorm,
-                         ::testing::Values(Backend::kThread, Backend::kSocket),
+                         ::testing::Values(Backend::kThread, Backend::kSocket,
+                                           Backend::kShm),
                          [](const auto& pinfo) {
                            return backend_name(pinfo.param);
                          });

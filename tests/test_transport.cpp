@@ -1,10 +1,11 @@
 // Transport layer: MPI-semantics message passing over every backend.
 //
 // The parameterized suite runs each contract test over SerialComm,
-// ThreadComm (threads-as-ranks) and SocketComm (forked processes over
-// Unix-domain sockets). Test bodies make all assertions in-rank so they
-// hold under fork. Thread-only behaviors (shared-memory visibility,
-// poison propagation) keep their own non-parameterized tests below.
+// ThreadComm (threads-as-ranks), SocketComm (forked processes over
+// Unix-domain sockets) and ShmComm (threaded endpoints over mmap'd
+// rings). Test bodies make all assertions in-rank so they hold under
+// fork. Thread-only behaviors (shared-memory visibility, poison
+// propagation) keep their own non-parameterized tests below.
 
 #include <gtest/gtest.h>
 
@@ -22,7 +23,7 @@ class TransportSuite : public ::testing::TestWithParam<Backend> {};
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, TransportSuite,
                          ::testing::Values(Backend::kSerial, Backend::kThread,
-                                           Backend::kSocket),
+                                           Backend::kSocket, Backend::kShm),
                          [](const auto& pinfo) {
                            return backend_name(pinfo.param);
                          });
