@@ -19,6 +19,16 @@
 ///                            runner's MLUPS (0 = report only). Needs
 ///                            real cores to mean anything; on a
 ///                            single-core box the ratio hovers near 1.
+///   --require-tile-speedup=<x>
+///                            exit nonzero unless the best SIMD tile
+///                            backend reaches x times the scalar plan
+///                            path's MLUPS on the full-phase bench
+///                            (0 = report only). Works on one core —
+///                            the gain is vector width, not threads.
+///
+/// The whole run pins the scalar backend; the per-backend full-phase
+/// benches (BM_FullPhase_TwoComponent_Backend_*, registered for every
+/// backend this build/CPU supports) switch it for their own loop only.
 
 #include <benchmark/benchmark.h>
 
@@ -138,6 +148,34 @@ void BM_FullPhase_TwoComponent_Plan(benchmark::State& state) {
   set_cells_rate(state, *b.slab);
 }
 BENCHMARK(BM_FullPhase_TwoComponent_Plan);
+
+// Full plan-path phase on each kernel backend this build/CPU supports —
+// registered dynamically in main(). The scalar entry re-measures the
+// plan bench under the registration machinery (a sanity anchor); the
+// SIMD entries are the tile-kernel claim, guarded by
+// --require-tile-speedup against BM_FullPhase_TwoComponent_Plan.
+void BM_FullPhase_TwoComponent_Backend(benchmark::State& state,
+                                       KernelBackend backend) {
+  set_kernel_backend(backend);
+  Box b(FluidParams::microchannel_defaults(), kPerfBox);
+  b.slab->plan();
+  if (backend != KernelBackend::scalar) b.slab->tiles();
+  for (auto _ : state)
+    step_phase(*b.slab, b.halo, KernelPath::plan);
+  set_cells_rate(state, *b.slab);
+  set_kernel_backend(KernelBackend::scalar);
+}
+
+/// Analytic doubles-touched-per-cell of one two-component plan phase on
+/// the perf box — the roofline denominator for the MLUPS numbers
+/// (bytes/s = MLUPS * 1e6 * bytes_per_cell). Counted for an interior
+/// cell, per component: fused collide+stream reads 19 f + 1 n + 3 ueq
+/// and writes 19 f_post (42); density reads 19 f and writes n (20); the
+/// force pass reads 18 psi + 18 f + n twice and writes 3 ueq (40); plus
+/// 4 mixture writes (rho_tot, u) per cell.
+double bytes_per_cell(int components) {
+  return 8.0 * (static_cast<double>(components) * (42 + 20 + 40) + 4);
+}
 
 void BM_FHaloPackUnpack(benchmark::State& state) {
   Box b(FluidParams::microchannel_defaults());
@@ -306,6 +344,7 @@ int main(int argc, char** argv) {
   std::string json_flag;
   double require_speedup = 0.0;
   double require_overlap_speedup = 0.0;
+  double require_tile_speedup = 0.0;
   std::vector<char*> bargs{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -315,9 +354,26 @@ int main(int argc, char** argv) {
       require_speedup = std::stod(a.substr(18));
     else if (a.rfind("--require-overlap-speedup=", 0) == 0)
       require_overlap_speedup = std::stod(a.substr(26));
+    else if (a.rfind("--require-tile-speedup=", 0) == 0)
+      require_tile_speedup = std::stod(a.substr(23));
     else
       bargs.push_back(argv[i]);
   }
+
+  // Pin scalar for every statically registered bench so the plan/legacy
+  // comparison keeps measuring the untiled reference path; only the
+  // per-backend benches below switch backends, inside their own bodies.
+  const KernelBackend default_backend = default_kernel_backend();
+  set_kernel_backend(KernelBackend::scalar);
+  const std::vector<KernelBackend> backends = supported_kernel_backends();
+  for (KernelBackend b : backends) {
+    const std::string name =
+        std::string("BM_FullPhase_TwoComponent_Backend_") + to_string(b);
+    benchmark::RegisterBenchmark(name.c_str(), [b](benchmark::State& s) {
+      BM_FullPhase_TwoComponent_Backend(s, b);
+    });
+  }
+
   int bargc = static_cast<int>(bargs.size());
   benchmark::Initialize(&bargc, bargs.data());
   if (benchmark::ReportUnrecognizedArguments(bargc, bargs.data())) return 1;
@@ -333,6 +389,20 @@ int main(int argc, char** argv) {
   const double overlap = reporter.get("BM_ParallelPhase_Overlap_T1");
   const double overlap_speedup = blocking > 0.0 ? overlap / blocking : 0.0;
 
+  // best SIMD tile backend vs the scalar plan path (the tile-kernel claim)
+  double best_tile = 0.0;
+  std::string best_tile_name = "none";
+  for (KernelBackend b : backends) {
+    if (b == KernelBackend::scalar) continue;
+    const double m = reporter.get(
+        std::string("BM_FullPhase_TwoComponent_Backend_") + to_string(b));
+    if (m > best_tile) {
+      best_tile = m;
+      best_tile_name = to_string(b);
+    }
+  }
+  const double tile_speedup = plan > 0.0 ? best_tile / plan : 0.0;
+
   const char* summary_argv[] = {argv[0], json_flag.c_str()};
   const auto opts = util::Options::parse(json_flag.empty() ? 1 : 2,
                                          summary_argv);
@@ -347,6 +417,15 @@ int main(int argc, char** argv) {
   summary.add("mlups_shm_4ranks", reporter.get("BM_ParallelPhase_Shm"));
   summary.add("overlap_speedup", overlap_speedup);
   summary.add("require_overlap_speedup", require_overlap_speedup);
+  for (KernelBackend b : backends)
+    summary.add(std::string("mlups_backend_") + to_string(b),
+                reporter.get(std::string("BM_FullPhase_TwoComponent_Backend_") +
+                             to_string(b)));
+  summary.add("tile_speedup", tile_speedup);
+  summary.add("require_tile_speedup", require_tile_speedup);
+  summary.add("bytes_per_cell_two_component", bytes_per_cell(2));
+  std::fprintf(stdout, "kernel backend default: %s; best tile backend: %s\n",
+               to_string(default_backend), best_tile_name.c_str());
   summary.write(opts);
 
   if (require_speedup > 0.0) {
@@ -378,6 +457,23 @@ int main(int argc, char** argv) {
     if (overlap_speedup < require_overlap_speedup) {
       std::fprintf(stderr, "overlap guard FAILED: %.2fx < %.2fx\n",
                    overlap_speedup, require_overlap_speedup);
+      return 1;
+    }
+  }
+  if (require_tile_speedup > 0.0) {
+    if (plan <= 0.0 || best_tile <= 0.0) {
+      std::fprintf(stderr,
+                   "tile guard: plan/backend benches missing from the run "
+                   "(check --benchmark_filter and SIMD support)\n");
+      return 1;
+    }
+    std::printf("tile guard: %s %.1f MLUPS vs scalar plan %.1f MLUPS "
+                "(%.2fx, required %.2fx)\n",
+                best_tile_name.c_str(), best_tile, plan, tile_speedup,
+                require_tile_speedup);
+    if (tile_speedup < require_tile_speedup) {
+      std::fprintf(stderr, "tile guard FAILED: %.2fx < %.2fx\n", tile_speedup,
+                   require_tile_speedup);
       return 1;
     }
   }

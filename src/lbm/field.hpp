@@ -7,12 +7,20 @@
 /// stored direction-major (19 contiguous scalar fields) because both the
 /// pull-streaming kernel and halo-plane extraction then operate on
 /// contiguous runs.
+///
+/// All storage is 64-byte aligned (util/aligned.hpp) and the distribution
+/// field pads each direction's array to a kTileWidth multiple, so every
+/// direction starts on its own cache line — what the tile/SIMD kernels
+/// want under the hood. The padding cells are never addressed by any
+/// kernel (dir() spans expose the unpadded cell count).
 
 #include <span>
 #include <vector>
 
 #include "lbm/lattice.hpp"
+#include "lbm/simd.hpp"
 #include "lbm/types.hpp"
+#include "util/aligned.hpp"
 #include "util/require.hpp"
 
 namespace slipflow::lbm {
@@ -51,7 +59,7 @@ class ScalarField {
 
  private:
   Extents ext_{};
-  std::vector<double> data_;
+  util::AlignedDoubles data_;
 };
 
 /// A 3-vector per cell, stored as three scalar planes (SoA).
@@ -86,19 +94,23 @@ class DistField {
   DistField() = default;
   explicit DistField(Extents e)
       : ext_(e),
-        data_(static_cast<std::size_t>(kQ) * static_cast<std::size_t>(e.cells())) {}
+        stride_(util::round_up(static_cast<std::size_t>(e.cells()),
+                               static_cast<std::size_t>(kTileWidth))),
+        data_(static_cast<std::size_t>(kQ) * stride_) {}
 
   const Extents& extents() const { return ext_; }
 
-  /// Contiguous scalar field of direction d.
+  /// Contiguous scalar field of direction d. Directions sit `stride_`
+  /// doubles apart (cells rounded up to the tile width) but the span
+  /// exposes exactly cells() entries — the pad is dead storage.
   std::span<double> dir(int d) {
     return std::span<double>(data_).subspan(
-        static_cast<std::size_t>(d) * static_cast<std::size_t>(ext_.cells()),
+        static_cast<std::size_t>(d) * stride_,
         static_cast<std::size_t>(ext_.cells()));
   }
   std::span<const double> dir(int d) const {
     return std::span<const double>(data_).subspan(
-        static_cast<std::size_t>(d) * static_cast<std::size_t>(ext_.cells()),
+        static_cast<std::size_t>(d) * stride_,
         static_cast<std::size_t>(ext_.cells()));
   }
 
@@ -119,12 +131,14 @@ class DistField {
 
   void swap(DistField& o) {
     std::swap(ext_, o.ext_);
+    std::swap(stride_, o.stride_);
     data_.swap(o.data_);
   }
 
  private:
   Extents ext_{};
-  std::vector<double> data_;
+  std::size_t stride_ = 0;
+  util::AlignedDoubles data_;
 };
 
 }  // namespace slipflow::lbm

@@ -132,6 +132,13 @@ void compute_density_planes(Slab& slab, index_t plane_begin,
   const Extents& st = slab.storage();
   const index_t first = plane_begin * st.plane_cells();
   const index_t count = (plane_end - plane_begin) * st.plane_cells();
+  const KernelBackend bk = active_kernel_backend();
+  if (bk != KernelBackend::scalar) {
+    // Pure additions in the same order — bit-identical to the loop below
+    // under any flags, just wider.
+    compute_density_cells(slab, bk, first, count);
+    return;
+  }
   for (std::size_t c = 0; c < slab.num_components(); ++c) {
     const DistField& f = slab.f(c);
     ScalarField& n = slab.density(c);

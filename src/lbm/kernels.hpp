@@ -14,6 +14,7 @@
 /// phase, exactly as the velocity computed on line 17 of the paper's
 /// pseudo-code is used by the collision on line 4 of the next iteration.
 
+#include "lbm/simd.hpp"
 #include "lbm/slab.hpp"
 
 namespace slipflow::lbm {
@@ -132,5 +133,35 @@ void force_psi_prepare(Slab& slab, ForcePsiCache& cache, index_t cell_begin,
 void compute_forces_plan_range(Slab& slab, const ForcePsiCache& cache,
                                std::size_t run_begin, std::size_t run_end,
                                std::size_t cell_begin, std::size_t cell_end);
+
+// --- tile/SIMD kernel path (kernels_tile*.cpp) -------------------------
+// The plan's interior runs re-chopped into vector-width tiles
+// (Slab::tiles()) and swept by unit-stride vector kernels; which ISA
+// executes is picked by KernelBackend (simd.hpp). The dispatching
+// wrappers above (fused_collide_stream, compute_density_planes,
+// compute_forces_and_velocity_plan) route interior work here whenever
+// active_kernel_backend() != scalar; boundary cells, halo pulls and MRT
+// components always take the per-cell plan path, so the tile ranges
+// below cover interior tiles only.
+
+/// Collide+stream the tiles [tile_begin, tile_end) of
+/// slab.tiles().stream_tiles(). Same write set as the corresponding
+/// interior runs of fused_collide_stream_range — disjoint tile slices
+/// may run concurrently. Requires backend != scalar (and supported).
+void fused_collide_stream_tiles(Slab& slab, KernelBackend backend,
+                                std::size_t tile_begin, std::size_t tile_end);
+
+/// Force/velocity for the tiles [tile_begin, tile_end) of
+/// slab.tiles().force_tiles(); the tile analogue of the interior-run part
+/// of compute_forces_plan_range, with the same psi-readiness contract
+/// (use TileLayout::force_inner_* to stay off the halo planes).
+void compute_forces_tiles(Slab& slab, const ForcePsiCache& cache,
+                          KernelBackend backend, std::size_t tile_begin,
+                          std::size_t tile_end);
+
+/// Density of storage cells [first, first + count) on a tile backend —
+/// bit-identical to the scalar kernel (pure additions, same order).
+void compute_density_cells(Slab& slab, KernelBackend backend, index_t first,
+                           index_t count);
 
 }  // namespace slipflow::lbm

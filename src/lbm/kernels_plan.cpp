@@ -155,8 +155,16 @@ void fused_collide_stream_finish(Slab& slab) {
 
 void fused_collide_stream(Slab& slab) {
   const StreamingPlan& plan = slab.plan();
-  fused_collide_stream_range(slab, 0, plan.stream_interior().size(), 0,
-                             plan.stream_boundary().size());
+  const KernelBackend bk = active_kernel_backend();
+  if (bk != KernelBackend::scalar) {
+    // Tile path: interior cells through the SIMD backend, boundary cells
+    // through the link tables as ever (run range empty).
+    fused_collide_stream_tiles(slab, bk, 0, slab.tiles().stream_tiles().size());
+    fused_collide_stream_range(slab, 0, 0, 0, plan.stream_boundary().size());
+  } else {
+    fused_collide_stream_range(slab, 0, plan.stream_interior().size(), 0,
+                               plan.stream_boundary().size());
+  }
   fused_collide_stream_finish(slab);
 }
 
@@ -321,8 +329,15 @@ void compute_forces_and_velocity_plan(Slab& slab) {
   const StreamingPlan& plan = slab.plan();
   static thread_local ForcePsiCache cache;
   force_psi_prepare(slab, cache, 0, slab.storage().cells(), /*reset=*/true);
-  compute_forces_plan_range(slab, cache, 0, plan.force_interior().size(), 0,
-                            plan.force_boundary().size());
+  const KernelBackend bk = active_kernel_backend();
+  if (bk != KernelBackend::scalar) {
+    compute_forces_tiles(slab, cache, bk, 0, slab.tiles().force_tiles().size());
+    compute_forces_plan_range(slab, cache, 0, 0, 0,
+                              plan.force_boundary().size());
+  } else {
+    compute_forces_plan_range(slab, cache, 0, plan.force_interior().size(), 0,
+                              plan.force_boundary().size());
+  }
 }
 
 }  // namespace slipflow::lbm

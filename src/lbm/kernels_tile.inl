@@ -1,0 +1,363 @@
+// \file kernels_tile.inl
+// Width-generic bodies of the tile kernels, instantiated once per ISA by
+// the kernels_tile_*.cpp translation units. Include inside
+// namespace slipflow::lbm::tilek (an anonymous namespace is fine) after
+// defining a vector wrapper type with the interface:
+//
+//   static constexpr std::int64_t kW;          // lanes (doubles)
+//   static V loadu(const double*);  static void storeu(double*, V);
+//   static V loadu_n(const double*, int n);    // lanes >= n read as +0.0
+//   static void storeu_n(double*, V, int n);   // lanes >= n not written
+//   static V set1(double);          static V zero();
+//   static V add(V, V); static V sub(V, V); static V mul(V, V);
+//   static V div(V, V); static V neg(V); static V sqrt(V);
+//   static V select_gt(V a, V b, V v);         // lane: a > b ? v : 0.0
+//   static V blend_gt(V a, V b, V t, V f);     // lane: a > b ? t : f
+//
+// Short run tails execute the same vector body through the masked
+// load/store ops (dead lanes read +0.0, compute garbage, and are never
+// stored), so every cell of every tile takes the vector code path.
+//
+// NUMERICS CONTRACT: every lane must perform exactly the scalar plan
+// path's operations in the scalar plan path's order — separate mul and
+// add, never FMA — so all backends produce bit-identical populations in
+// builds that do not contract the scalar path either (the intrinsic TUs
+// additionally compile with -ffp-contract=off to pin their scalar
+// helpers). tests/test_tile_kernels.cpp pins every backend <= 1e-13
+// against scalar to stay green under -march=native contraction.
+
+/// One vector-width group of a stream tile starting at `cell`: fused BGK
+/// collide + push-stream, mirroring fused_collide_stream_range's
+/// interior body. Masked == true stores only the first `r` lanes.
+template <class V, bool Masked>
+inline void stream_cells(const StreamCtx& c, std::int64_t cell, int r) {
+  const auto ld = [&](const double* p) {
+    if constexpr (Masked)
+      return V::loadu_n(p, r);
+    else
+      return V::loadu(p);
+  };
+  const V one = V::set1(1.0);
+  const V three = V::set1(3.0);
+  const V c45 = V::set1(4.5);
+  const V c15 = V::set1(1.5);
+  const V itau = V::set1(c.inv_tau);
+  const V nv = ld(c.n + cell);
+  const V ux = ld(c.ux + cell);
+  const V uy = ld(c.uy + cell);
+  const V uz = ld(c.uz + cell);
+  // u2 = x*x + y*y + z*z, Vec3::norm2's association
+  const V u2 =
+      V::add(V::add(V::mul(ux, ux), V::mul(uy, uy)), V::mul(uz, uz));
+  for (int d = 0; d < kQ; ++d) {
+    // cu = cx*ux + cy*uy + cz*uz
+    const V cu =
+        V::add(V::add(V::mul(V::set1(static_cast<double>(kCx[d])), ux),
+                      V::mul(V::set1(static_cast<double>(kCy[d])), uy)),
+               V::mul(V::set1(static_cast<double>(kCz[d])), uz));
+    // feq = w * n * (1 + 3 cu + 4.5 cu^2 - 1.5 u2)
+    const V poly = V::sub(V::add(V::add(one, V::mul(three, cu)),
+                                 V::mul(V::mul(c45, cu), cu)),
+                          V::mul(c15, u2));
+    const V feq = V::mul(V::mul(V::set1(kWeight[d]), nv), poly);
+    const V fold = ld(c.f[d] + cell);
+    const V out = V::sub(fold, V::mul(V::sub(fold, feq), itau));
+    if constexpr (Masked)
+      V::storeu_n(c.fp[d] + cell + c.off[d], out, r);
+    else
+      V::storeu(c.fp[d] + cell + c.off[d], out);
+  }
+}
+
+/// Fused BGK collide + push-stream of tiles [tile_begin, tile_end).
+template <class V>
+void stream_tiles_impl(const StreamCtx& c, std::size_t tile_begin,
+                       std::size_t tile_end) {
+  for (std::size_t t = tile_begin; t < tile_end; ++t) {
+    const Tile& tile = c.tiles[t];
+    const std::int64_t cnt = tile.count;
+    std::int64_t lane = 0;
+    for (; lane + V::kW <= cnt; lane += V::kW)
+      stream_cells<V, false>(c, tile.cell + lane, static_cast<int>(V::kW));
+    if (lane < cnt)
+      stream_cells<V, true>(c, tile.cell + lane,
+                            static_cast<int>(cnt - lane));
+  }
+}
+
+/// Everything after the psi/momentum gathers — identical, expression for
+/// expression, to the finish_cell lambda of compute_forces_plan_range.
+/// Only the patterned-wall path takes this scalar finish; plain walls go
+/// through the vector finish in force_cells below.
+inline void force_finish_cell(const ForceCtx& c, std::int64_t cell,
+                              std::int64_t yz, std::int64_t gx,
+                              const Vec3* grad, const Vec3* p,
+                              const Vec3& uprime) {
+  Vec3 wall_a = c.wall_unit[yz];
+  if (c.pattern)
+    wall_a = c.pattern(c.pattern_state, gx, yz / c.nz, yz % c.nz) * wall_a;
+  double rho_tot = 0.0;
+  Vec3 rho_u{};
+  Vec3 force_sum{};
+  for (int k = 0; k < c.ncomp; ++k) {
+    const double ncur = c.n[k][cell];
+    const double rho = c.mass[k] * ncur;
+
+    Vec3 F{};
+    const double psi_c = c.psi[k][cell];
+    for (int c2 = 0; c2 < c.ncomp; ++c2) {
+      const double g = c.g[k][c2];
+      if (g != 0.0) F += (-psi_c * g) * grad[c2];
+    }
+    F += (rho * c.wall_accel[k]) * wall_a;
+    F.x += rho * c.gravity_x;
+
+    Vec3 ue = uprime;
+    if (rho > kTinyDensity) {
+      Vec3 shift = (c.tau[k] / rho) * F;
+      const double s2 = shift.norm2();
+      const double smax = c.max_force_shift;
+      if (s2 > smax * smax) shift = (smax / std::sqrt(s2)) * shift;
+      ue += shift;
+    }
+    c.ueq_x[k][cell] = ue.x;
+    c.ueq_y[k][cell] = ue.y;
+    c.ueq_z[k][cell] = ue.z;
+
+    rho_tot += rho;
+    force_sum += F;
+    rho_u += c.mass[k] * p[k];
+  }
+  c.rho_tot[cell] = rho_tot;
+  Vec3 u_out{};
+  if (rho_tot > kTinyDensity)
+    u_out = (1.0 / rho_tot) * (rho_u + 0.5 * force_sum);
+  c.u_x[cell] = u_out.x;
+  c.u_y[cell] = u_out.y;
+  c.u_z[cell] = u_out.z;
+}
+
+/// One vector-width group of a force tile: Shan-Chen psi gradients,
+/// per-component first moments, common velocity, force and equilibrium
+/// velocity shift — all W lanes wide. Every vector expression mirrors
+/// the scalar plan path operation for operation (see force_finish_cell);
+/// branches become blends whose not-taken lanes keep the exact
+/// not-taken value. Only a patterned wall (a per-cell user callback)
+/// falls back to the scalar finish, fed from spilled lanes.
+template <class V, bool Masked>
+inline void force_cells(const ForceCtx& c, const Tile& tile,
+                        std::int64_t lane0, int r) {
+  const std::int64_t cell = tile.cell + lane0;
+  const int nc = c.ncomp;
+  const auto ld = [&](const double* p) {
+    if constexpr (Masked)
+      return V::loadu_n(p, r);
+    else
+      return V::loadu(p);
+  };
+  const auto st = [&](double* p, V val) {
+    if constexpr (Masked)
+      V::storeu_n(p, val, r);
+    else
+      V::storeu(p, val);
+  };
+  const V one = V::set1(1.0);
+  const V tiny = V::set1(kTinyDensity);
+
+  // grad[c2] = sum_d w_d psi_c2(cell + off_d) c_d  (interior: every
+  // neighbor is plain fluid at the fixed offset)
+  V gradx[kMaxComp], grady[kMaxComp], gradz[kMaxComp];
+  for (int c2 = 0; c2 < nc; ++c2) {
+    const double* ps = c.psi[c2];
+    V gx = V::zero(), gy = V::zero(), gz = V::zero();
+    for (int d = 1; d < kQ; ++d) {
+      const V psv = ld(ps + cell + c.off[d]);
+      const V wps = V::mul(V::set1(kWeight[d]), psv);
+      gx = V::add(gx, V::mul(wps, V::set1(static_cast<double>(kCx[d]))));
+      gy = V::add(gy, V::mul(wps, V::set1(static_cast<double>(kCy[d]))));
+      gz = V::add(gz, V::mul(wps, V::set1(static_cast<double>(kCz[d]))));
+    }
+    gradx[c2] = gx;
+    grady[c2] = gy;
+    gradz[c2] = gz;
+  }
+
+  // First moments p_k and the common velocity u' = unum / uden.
+  V px[kMaxComp], py[kMaxComp], pz[kMaxComp];
+  V unx = V::zero(), uny = V::zero(), unz = V::zero(), uden = V::zero();
+  for (int k = 0; k < nc; ++k) {
+    V pxa = V::zero(), pya = V::zero(), pza = V::zero();
+    for (int d = 1; d < kQ; ++d) {
+      const V fd = ld(c.f[k][d] + cell);
+      pxa = V::add(pxa, V::mul(fd, V::set1(static_cast<double>(kCx[d]))));
+      pya = V::add(pya, V::mul(fd, V::set1(static_cast<double>(kCy[d]))));
+      pza = V::add(pza, V::mul(fd, V::set1(static_cast<double>(kCz[d]))));
+    }
+    px[k] = pxa;
+    py[k] = pya;
+    pz[k] = pza;
+    const V w = V::set1(c.mass[k] / c.tau[k]);
+    unx = V::add(unx, V::mul(w, pxa));
+    uny = V::add(uny, V::mul(w, pya));
+    unz = V::add(unz, V::mul(w, pza));
+    uden = V::add(uden, V::mul(w, ld(c.n[k] + cell)));
+  }
+  // uprime = uden > tiny ? (1/uden) * unum : 0, per lane — the division
+  // happens exactly as the scalar (1.0/uden) * unum does.
+  const V inv = V::div(one, uden);
+  const V upx = V::select_gt(uden, tiny, V::mul(inv, unx));
+  const V upy = V::select_gt(uden, tiny, V::mul(inv, uny));
+  const V upz = V::select_gt(uden, tiny, V::mul(inv, unz));
+
+  if (c.pattern != nullptr) {
+    // Patterned wall: per-cell user callback — spill the lanes and run
+    // the scalar finish, exactly the plan path's code.
+    double sgx[kMaxComp][V::kW], sgy[kMaxComp][V::kW], sgz[kMaxComp][V::kW];
+    double spx[kMaxComp][V::kW], spy[kMaxComp][V::kW], spz[kMaxComp][V::kW];
+    double sux[V::kW], suy[V::kW], suz[V::kW];
+    for (int k = 0; k < nc; ++k) {
+      V::storeu(sgx[k], gradx[k]);
+      V::storeu(sgy[k], grady[k]);
+      V::storeu(sgz[k], gradz[k]);
+      V::storeu(spx[k], px[k]);
+      V::storeu(spy[k], py[k]);
+      V::storeu(spz[k], pz[k]);
+    }
+    V::storeu(sux, upx);
+    V::storeu(suy, upy);
+    V::storeu(suz, upz);
+    for (int l = 0; l < r; ++l) {
+      Vec3 grad[kMaxComp], p[kMaxComp];
+      for (int k = 0; k < nc; ++k) {
+        grad[k] = Vec3{sgx[k][l], sgy[k][l], sgz[k][l]};
+        p[k] = Vec3{spx[k][l], spy[k][l], spz[k][l]};
+      }
+      force_finish_cell(c, cell + l, tile.yz + lane0 + l, tile.gx, grad, p,
+                        Vec3{sux[l], suy[l], suz[l]});
+    }
+    return;
+  }
+
+  // Vector finish. The wall direction is an AoS Vec3 per yz column —
+  // deinterleave the lanes through the stack (unit stride in yz along a
+  // tile, so plain scalar loads).
+  double wax[V::kW], way[V::kW], waz[V::kW];
+  for (int l = 0; l < r; ++l) {
+    const Vec3& w = c.wall_unit[tile.yz + lane0 + l];
+    wax[l] = w.x;
+    way[l] = w.y;
+    waz[l] = w.z;
+  }
+  for (std::int64_t l = r; l < V::kW; ++l) {
+    wax[l] = 0.0;
+    way[l] = 0.0;
+    waz[l] = 0.0;
+  }
+  const V wvx = V::loadu(wax), wvy = V::loadu(way), wvz = V::loadu(waz);
+
+  V rho_tot = V::zero();
+  V fsx = V::zero(), fsy = V::zero(), fsz = V::zero();  // force_sum
+  V rux = V::zero(), ruy = V::zero(), ruz = V::zero();  // rho_u
+  for (int k = 0; k < nc; ++k) {
+    const V nk = ld(c.n[k] + cell);
+    const V rho = V::mul(V::set1(c.mass[k]), nk);
+    const V psk = ld(c.psi[k] + cell);
+
+    // F = sum_c2 (-psi_k g) grad[c2] + (rho wall_accel) wall_a; gravity x
+    V Fx = V::zero(), Fy = V::zero(), Fz = V::zero();
+    for (int c2 = 0; c2 < nc; ++c2) {
+      const double g = c.g[k][c2];
+      if (g != 0.0) {
+        const V coef = V::mul(V::neg(psk), V::set1(g));
+        Fx = V::add(Fx, V::mul(coef, gradx[c2]));
+        Fy = V::add(Fy, V::mul(coef, grady[c2]));
+        Fz = V::add(Fz, V::mul(coef, gradz[c2]));
+      }
+    }
+    const V wcoef = V::mul(rho, V::set1(c.wall_accel[k]));
+    Fx = V::add(Fx, V::mul(wcoef, wvx));
+    Fy = V::add(Fy, V::mul(wcoef, wvy));
+    Fz = V::add(Fz, V::mul(wcoef, wvz));
+    Fx = V::add(Fx, V::mul(rho, V::set1(c.gravity_x)));
+
+    // shift = (tau/rho) F, clamped to |shift| <= max_force_shift;
+    // ue = rho > tiny ? uprime + shift : uprime. Vacuum lanes divide by
+    // zero into the not-taken side of the blend and are discarded, like
+    // the scalar branch never entering its body.
+    const V q = V::div(V::set1(c.tau[k]), rho);
+    V sx = V::mul(q, Fx), sy = V::mul(q, Fy), sz = V::mul(q, Fz);
+    const V s2 =
+        V::add(V::add(V::mul(sx, sx), V::mul(sy, sy)), V::mul(sz, sz));
+    const V smax = V::set1(c.max_force_shift);
+    const V smax2 = V::mul(smax, smax);
+    const V cl = V::div(smax, V::sqrt(s2));
+    sx = V::blend_gt(s2, smax2, V::mul(cl, sx), sx);
+    sy = V::blend_gt(s2, smax2, V::mul(cl, sy), sy);
+    sz = V::blend_gt(s2, smax2, V::mul(cl, sz), sz);
+    const V uex = V::blend_gt(rho, tiny, V::add(upx, sx), upx);
+    const V uey = V::blend_gt(rho, tiny, V::add(upy, sy), upy);
+    const V uez = V::blend_gt(rho, tiny, V::add(upz, sz), upz);
+    st(c.ueq_x[k] + cell, uex);
+    st(c.ueq_y[k] + cell, uey);
+    st(c.ueq_z[k] + cell, uez);
+
+    rho_tot = V::add(rho_tot, rho);
+    fsx = V::add(fsx, Fx);
+    fsy = V::add(fsy, Fy);
+    fsz = V::add(fsz, Fz);
+    const V mk = V::set1(c.mass[k]);
+    rux = V::add(rux, V::mul(mk, px[k]));
+    ruy = V::add(ruy, V::mul(mk, py[k]));
+    ruz = V::add(ruz, V::mul(mk, pz[k]));
+  }
+  st(c.rho_tot + cell, rho_tot);
+  // u = rho_tot > tiny ? (1/rho_tot) (rho_u + 0.5 force_sum) : 0
+  const V rinv = V::div(one, rho_tot);
+  const V half = V::set1(0.5);
+  const V uox =
+      V::select_gt(rho_tot, tiny, V::mul(rinv, V::add(rux, V::mul(half, fsx))));
+  const V uoy =
+      V::select_gt(rho_tot, tiny, V::mul(rinv, V::add(ruy, V::mul(half, fsy))));
+  const V uoz =
+      V::select_gt(rho_tot, tiny, V::mul(rinv, V::add(ruz, V::mul(half, fsz))));
+  st(c.u_x + cell, uox);
+  st(c.u_y + cell, uoy);
+  st(c.u_z + cell, uoz);
+}
+
+/// Shan-Chen force/velocity over tiles [tile_begin, tile_end).
+template <class V>
+void forces_tiles_impl(const ForceCtx& c, std::size_t tile_begin,
+                       std::size_t tile_end) {
+  for (std::size_t t = tile_begin; t < tile_end; ++t) {
+    const Tile& tile = c.tiles[t];
+    const std::int64_t cnt = tile.count;
+    std::int64_t lane0 = 0;
+    for (; lane0 + V::kW <= cnt; lane0 += V::kW)
+      force_cells<V, false>(c, tile, lane0, static_cast<int>(V::kW));
+    if (lane0 < cnt)
+      force_cells<V, true>(c, tile, lane0, static_cast<int>(cnt - lane0));
+  }
+}
+
+/// n = sum_d f_d over cells [first, first + count). Pure additions in
+/// the legacy accumulation order — no mul/add pair exists to contract,
+/// so this is bit-identical to the scalar kernel under any flags.
+template <class V>
+void density_impl(const DensityCtx& c, std::int64_t first,
+                  std::int64_t count) {
+  std::int64_t i = first;
+  const std::int64_t last = first + count;
+  for (; i + V::kW <= last; i += V::kW) {
+    V acc = V::loadu(c.f[0] + i);
+    for (int d = 1; d < kQ; ++d) acc = V::add(acc, V::loadu(c.f[d] + i));
+    V::storeu(c.n + i, acc);
+  }
+  if (i < last) {
+    const int r = static_cast<int>(last - i);
+    V acc = V::loadu_n(c.f[0] + i, r);
+    for (int d = 1; d < kQ; ++d)
+      acc = V::add(acc, V::loadu_n(c.f[d] + i, r));
+    V::storeu_n(c.n + i, acc, r);
+  }
+}

@@ -1,0 +1,58 @@
+#pragma once
+/// \file simd.hpp
+/// KernelBackend — which implementation of the tile kernels the
+/// dispatching entry points (fused_collide_stream, the density and force
+/// kernels) run.
+///
+///  * `scalar`  — the StreamingPlan reference path, cell at a time. The
+///    correctness baseline every other backend is pinned against.
+///  * `autovec` — the portable tile path: plain lane loops over
+///    vector-width tiles that any optimizing compiler auto-vectorizes.
+///    The only tile path in `-DSLIPFLOW_DISABLE_SIMD=ON` builds and on
+///    non-x86 targets.
+///  * `avx2` / `avx512` — `<immintrin.h>` instantiations of the same
+///    tile kernels, compiled in per-ISA translation units and selected
+///    at runtime by CPUID. Written without FMA so their results are
+///    bit-identical to the scalar path (see DESIGN.md).
+///
+/// The active backend is a process-global: the widest supported SIMD
+/// backend by default, overridable with set_kernel_backend() (the
+/// `--kernel-backend` flag on the worker and the benches). `autovec` is
+/// never auto-selected on x86 — it exists as the portable fallback and
+/// for A/B runs — so the default is avx512 > avx2 > autovec(non-SIMD
+/// builds) > scalar.
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace slipflow::lbm {
+
+/// Cells per AoSoA tile: 8 doubles — one AVX-512 register, two AVX2
+/// registers, a whole cache line. Also the unit the per-direction field
+/// stride is padded to (DistField).
+inline constexpr int kTileWidth = 8;
+
+enum class KernelBackend { scalar, autovec, avx2, avx512 };
+
+const char* to_string(KernelBackend b);
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<KernelBackend> parse_kernel_backend(std::string_view name);
+
+/// Is the backend's code in this binary? scalar/autovec always are; the
+/// intrinsic backends are absent under SLIPFLOW_DISABLE_SIMD, on non-x86
+/// targets, or when the compiler lacks the -m flags.
+bool kernel_backend_compiled(KernelBackend b);
+/// kernel_backend_compiled && the CPU executes it (CPUID).
+bool kernel_backend_supported(KernelBackend b);
+/// Every supported backend, scalar first (test sweeps iterate this).
+std::vector<KernelBackend> supported_kernel_backends();
+/// The backend a fresh process dispatches to (see file comment).
+KernelBackend default_kernel_backend();
+
+/// Process-global backend read by the dispatching kernels each call.
+KernelBackend active_kernel_backend();
+/// Override the active backend; requires kernel_backend_supported(b).
+void set_kernel_backend(KernelBackend b);
+
+}  // namespace slipflow::lbm

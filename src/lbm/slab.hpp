@@ -23,6 +23,7 @@
 #include "lbm/geometry.hpp"
 #include "lbm/params.hpp"
 #include "lbm/plan.hpp"
+#include "lbm/tile.hpp"
 
 namespace slipflow::lbm {
 
@@ -106,6 +107,16 @@ class Slab {
   /// rebuild span is worth recording).
   bool has_plan() const { return plan_ != nullptr; }
 
+  /// The plan's interior runs chopped into vector-width tiles for the
+  /// SIMD kernel path; cached like the plan and likewise dropped by the
+  /// move-assign of plane migration. Not thread-safe to build — runners
+  /// touch tiles() on the coordinating thread before slicing it across a
+  /// pool (plan() has the same contract).
+  const TileLayout& tiles() const {
+    if (tiles_ == nullptr) tiles_ = std::make_unique<TileLayout>(plan());
+    return *tiles_;
+  }
+
   // -- initialization ---------------------------------------------------
   /// Set per-component number density from a function of *global* cell
   /// coordinates (decomposition-invariant), and the populations to the
@@ -188,6 +199,7 @@ class Slab {
   ScalarField rho_total_;
   std::vector<Vec3> wall_unit_;
   mutable std::unique_ptr<StreamingPlan> plan_;
+  mutable std::unique_ptr<TileLayout> tiles_;
 };
 
 }  // namespace slipflow::lbm

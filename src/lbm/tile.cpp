@@ -1,0 +1,41 @@
+#include "lbm/tile.hpp"
+
+#include <algorithm>
+
+#include "lbm/plan.hpp"
+
+namespace slipflow::lbm {
+
+namespace {
+/// Chop runs [run_begin, run_end) into tiles of at most kTileWidth cells.
+void chop_runs(const std::vector<InteriorRun>& runs, std::size_t run_begin,
+               std::size_t run_end, std::vector<Tile>& out, index_t& cells) {
+  for (std::size_t ri = run_begin; ri < run_end; ++ri) {
+    const InteriorRun& r = runs[ri];
+    for (index_t i = 0; i < r.count; i += kTileWidth) {
+      const index_t n = std::min<index_t>(kTileWidth, r.count - i);
+      out.push_back(
+          Tile{r.cell + i, r.yz + i, r.gx, static_cast<std::int32_t>(n)});
+    }
+    cells += r.count;
+  }
+}
+}  // namespace
+
+TileLayout::TileLayout(const StreamingPlan& plan) {
+  chop_runs(plan.stream_interior(), 0, plan.stream_interior().size(), stream_,
+            stream_cells_);
+  // Force tiles keep the plan's lx ordering, so chopping the three run
+  // slices (prefix / inner / suffix) in order yields tile-level inner
+  // markers that cover exactly the same cells as the run-level ones.
+  const auto& fr = plan.force_interior();
+  chop_runs(fr, 0, plan.force_interior_inner_begin(), force_, force_cells_);
+  force_inner_begin_ = force_.size();
+  chop_runs(fr, plan.force_interior_inner_begin(),
+            plan.force_interior_inner_end(), force_, force_cells_);
+  force_inner_end_ = force_.size();
+  chop_runs(fr, plan.force_interior_inner_end(), fr.size(), force_,
+            force_cells_);
+}
+
+}  // namespace slipflow::lbm

@@ -174,6 +174,8 @@ void ParallelLbm::ensure_plan() {
   if (cfg_.kernels != lbm::KernelPath::plan || slab_->has_plan()) return;
   const double t0 = prof_->now();
   slab_->plan();
+  if (lbm::active_kernel_backend() != lbm::KernelBackend::scalar)
+    slab_->tiles();  // rebuilt with the plan so the rebuild span covers it
   prof_->record_span("plan", t0, prof_->now());
 }
 
@@ -333,6 +335,14 @@ void ParallelLbm::step_blocking() {
 void ParallelLbm::step_overlap() {
   lbm::Slab& slab = *slab_;
   const lbm::StreamingPlan& plan = slab.plan();
+  // Which kernel backend this step runs, read once so every slice of the
+  // phase agrees. On a tile backend the pool slices *tile* indices, never
+  // raw runs: a slice boundary can then never split a tile, so each cell
+  // takes the same vector-lane-vs-tail code path for any rank x thread
+  // count — the partition-invariance the run slicing had.
+  const lbm::KernelBackend backend = lbm::active_kernel_backend();
+  const bool tile_path = backend != lbm::KernelBackend::scalar;
+  if (tile_path) slab.tiles();  // build on this thread, not under the pool
   const lbm::index_t nxl = slab.nx_local();
   const lbm::index_t pc = slab.storage().plane_cells();
   const double phase_begin = prof_->now();
@@ -361,15 +371,30 @@ void ParallelLbm::step_overlap() {
   const auto& sruns = plan.stream_interior();
   const std::size_t nruns = sruns.size();
   const std::size_t nbound = plan.stream_boundary().size();
-  pool_->run([&](int lane, int lanes) {
-    const auto [rb, re] = util::ThreadPool::slice(nruns, lane, lanes);
-    const auto [cb, ce] = util::ThreadPool::slice(nbound, lane, lanes);
-    lbm::fused_collide_stream_range(slab, rb, re, cb, ce);
-    double cells = static_cast<double>(ce - cb);
-    for (std::size_t ri = rb; ri < re; ++ri)
-      cells += static_cast<double>(sruns[ri].count);
-    thread_cells_[static_cast<std::size_t>(lane)] += cells;
-  });
+  if (tile_path) {
+    const auto& stiles = slab.tiles().stream_tiles();
+    const std::size_t ntiles = stiles.size();
+    pool_->run([&](int lane, int lanes) {
+      const auto [tb, te] = util::ThreadPool::slice(ntiles, lane, lanes);
+      const auto [cb, ce] = util::ThreadPool::slice(nbound, lane, lanes);
+      lbm::fused_collide_stream_tiles(slab, backend, tb, te);
+      lbm::fused_collide_stream_range(slab, 0, 0, cb, ce);
+      double cells = static_cast<double>(ce - cb);
+      for (std::size_t ti = tb; ti < te; ++ti)
+        cells += static_cast<double>(stiles[ti].count);
+      thread_cells_[static_cast<std::size_t>(lane)] += cells;
+    });
+  } else {
+    pool_->run([&](int lane, int lanes) {
+      const auto [rb, re] = util::ThreadPool::slice(nruns, lane, lanes);
+      const auto [cb, ce] = util::ThreadPool::slice(nbound, lane, lanes);
+      lbm::fused_collide_stream_range(slab, rb, re, cb, ce);
+      double cells = static_cast<double>(ce - cb);
+      for (std::size_t ri = rb; ri < re; ++ri)
+        cells += static_cast<double>(sruns[ri].count);
+      thread_cells_[static_cast<std::size_t>(lane)] += cells;
+    });
+  }
   t = prof_->now();
   prof_->record_span("interior_stream", t0, t);
   compute += t - t0;
@@ -421,11 +446,22 @@ void ParallelLbm::step_overlap() {
   const std::size_t fi_n = plan.force_interior_inner_end() - fi_b;
   const std::size_t fb_b = plan.force_boundary_inner_begin();
   const std::size_t fb_n = plan.force_boundary_inner_end() - fb_b;
+  const std::size_t ft_b = tile_path ? slab.tiles().force_inner_begin() : 0;
+  const std::size_t ft_n =
+      tile_path ? slab.tiles().force_inner_end() - ft_b : 0;
   pool_->run([&](int lane, int lanes) {
-    const auto [rb, re] = util::ThreadPool::slice(fi_n, lane, lanes);
     const auto [cb, ce] = util::ThreadPool::slice(fb_n, lane, lanes);
-    lbm::compute_forces_plan_range(slab, psi_cache_, fi_b + rb, fi_b + re,
-                                   fb_b + cb, fb_b + ce);
+    if (tile_path) {
+      const auto [tb, te] = util::ThreadPool::slice(ft_n, lane, lanes);
+      lbm::compute_forces_tiles(slab, psi_cache_, backend, ft_b + tb,
+                                ft_b + te);
+      lbm::compute_forces_plan_range(slab, psi_cache_, 0, 0, fb_b + cb,
+                                     fb_b + ce);
+    } else {
+      const auto [rb, re] = util::ThreadPool::slice(fi_n, lane, lanes);
+      lbm::compute_forces_plan_range(slab, psi_cache_, fi_b + rb, fi_b + re,
+                                     fb_b + cb, fb_b + ce);
+    }
   });
   t = prof_->now();
   prof_->record_span("interior_force", t0, t);
@@ -445,10 +481,19 @@ void ParallelLbm::step_overlap() {
   lbm::force_psi_prepare(slab, psi_cache_, 0, pc, /*reset=*/false);
   lbm::force_psi_prepare(slab, psi_cache_, (nxl + 1) * pc, (nxl + 2) * pc,
                          /*reset=*/false);
-  lbm::compute_forces_plan_range(slab, psi_cache_, 0, fi_b, 0, fb_b);
-  lbm::compute_forces_plan_range(slab, psi_cache_, fi_b + fi_n,
-                                 plan.force_interior().size(), fb_b + fb_n,
-                                 plan.force_boundary().size());
+  if (tile_path) {
+    lbm::compute_forces_tiles(slab, psi_cache_, backend, 0, ft_b);
+    lbm::compute_forces_tiles(slab, psi_cache_, backend, ft_b + ft_n,
+                              slab.tiles().force_tiles().size());
+    lbm::compute_forces_plan_range(slab, psi_cache_, 0, 0, 0, fb_b);
+    lbm::compute_forces_plan_range(slab, psi_cache_, 0, 0, fb_b + fb_n,
+                                   plan.force_boundary().size());
+  } else {
+    lbm::compute_forces_plan_range(slab, psi_cache_, 0, fi_b, 0, fb_b);
+    lbm::compute_forces_plan_range(slab, psi_cache_, fi_b + fi_n,
+                                   plan.force_interior().size(), fb_b + fb_n,
+                                   plan.force_boundary().size());
+  }
   t = prof_->now();
   prof_->record_span("boundary_force", t0, t);
   compute += t - t0;

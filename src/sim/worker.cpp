@@ -111,6 +111,29 @@ int worker_main(int argc, const char* const* argv) {
     std::fprintf(stderr, "rank %d: unknown --step=%s\n", rank, step.c_str());
     return 2;
   }
+  // Which tile-kernel backend the hot kernels dispatch to. "auto" keeps
+  // the CPUID default (widest supported SIMD); naming a backend that this
+  // build/CPU cannot run is a configuration error, not a fallback.
+  const std::string backend_name =
+      opts.get("kernel-backend", std::string("auto"));
+  if (backend_name != "auto") {
+    const std::optional<lbm::KernelBackend> kb =
+        lbm::parse_kernel_backend(backend_name);
+    if (!kb) {
+      std::fprintf(stderr, "rank %d: unknown --kernel-backend=%s\n", rank,
+                   backend_name.c_str());
+      return 2;
+    }
+    if (!lbm::kernel_backend_supported(*kb)) {
+      std::fprintf(stderr,
+                   "rank %d: --kernel-backend=%s not supported by this "
+                   "build/CPU\n",
+                   rank, backend_name.c_str());
+      return 2;
+    }
+    lbm::set_kernel_backend(*kb);
+  }
+
   const int phases = static_cast<int>(opts.get("phases", 40LL));
   const int slow_rank = static_cast<int>(opts.get("slow-rank", -1LL));
   const double slow_factor = opts.get("slow-factor", 0.0);

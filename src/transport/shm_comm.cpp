@@ -6,10 +6,18 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#endif
+
 #include <atomic>
+#include <bit>
 #include <cerrno>
 #include <chrono>
+#include <climits>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <limits>
 #include <thread>
@@ -36,6 +44,13 @@ namespace {
 // [16]  u64 capacity  — data bytes (producer validates against its own)
 // [64]  u64 head      — bytes produced, monotonic (producer-written)
 // [128] u64 tail      — bytes consumed, monotonic (consumer-written)
+// [136] u32 consumer_waiting — armed by the consumer just before it
+//                       parks in futex(2) on the head word; the
+//                       producer's commit checks it (after a seq_cst
+//                       fence pairing with the waiter's) and issues
+//                       FUTEX_WAKE only when set. Lives on the tail's
+//                       cache line: both words are consumer-written,
+//                       producer-read.
 // [192] u32 producer_closed / [196] u32 consumer_closed
 // [200] u32 producer_attached — set once the producer has mapped the
 //                       segment; the consumer's constructor waits for it
@@ -50,6 +65,7 @@ constexpr std::size_t kOffSession = 8;
 constexpr std::size_t kOffCapacity = 16;
 constexpr std::size_t kOffHead = 64;
 constexpr std::size_t kOffTail = 128;
+constexpr std::size_t kOffConsumerWaiting = 136;
 constexpr std::size_t kOffProducerClosed = 192;
 constexpr std::size_t kOffConsumerClosed = 196;
 constexpr std::size_t kOffProducerAttached = 200;
@@ -69,6 +85,26 @@ std::string ring_path(const std::string& dir, int src, int dst) {
   return dir + "/ring_" + std::to_string(src) + "to" + std::to_string(dst) +
          ".shm";
 }
+
+#if defined(__linux__)
+// The futex word is the 32 low-order bits of the ring's u64 head
+// counter: every commit advances head by a nonzero amount far below
+// 2^32, so the low word changes on every publish and FUTEX_WAIT's
+// expected-value check catches any commit that lands between the
+// waiter's last drain and its sleep.
+std::uint32_t* head_futex_word(std::byte* base) {
+  const std::size_t off =
+      std::endian::native == std::endian::little ? kOffHead : kOffHead + 4;
+  return reinterpret_cast<std::uint32_t*>(base + off);
+}
+
+// No glibc wrapper for futex(2); the segments are shared across forked
+// processes, so the non-PRIVATE opcodes are required.
+long futex_call(std::uint32_t* word, int op, std::uint32_t val,
+                const struct timespec* timeout) {
+  return ::syscall(SYS_futex, word, op, val, timeout, nullptr, 0);
+}
+#endif
 
 }  // namespace
 
@@ -239,6 +275,14 @@ ShmComm::~ShmComm() {
     Ring& o = out_[static_cast<std::size_t>(p)];
     if (o.base != nullptr) {
       a32(o.base, kOffProducerClosed).store(1, std::memory_order_release);
+#if defined(__linux__)
+      // A consumer parked on this ring must see the closed flag rather
+      // than sleep out its timeout; same fence pairing as ring_commit.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (a32(o.base, kOffConsumerWaiting).load(std::memory_order_relaxed) !=
+          0)
+        futex_call(head_futex_word(o.base), FUTEX_WAKE, INT_MAX, nullptr);
+#endif
       ::munmap(o.base, o.map_len);
       o.base = nullptr;
     }
@@ -297,6 +341,18 @@ void ShmComm::ring_commit(Ring& r, std::uint64_t advance) {
   r.pos += advance;
   a64(r.base, kOffHead).store(r.pos, std::memory_order_release);
   stats_.bytes_sent += static_cast<long long>(advance);
+#if defined(__linux__)
+  // Publish-then-check against the waiter's arm-then-recheck: the
+  // seq_cst fences on both sides guarantee that either this side sees
+  // consumer_waiting set (and wakes) or the consumer's recheck sees the
+  // new head (and skips the sleep) — a lost wake is impossible.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  auto waiting = a32(r.base, kOffConsumerWaiting);
+  if (waiting.load(std::memory_order_relaxed) != 0) {
+    waiting.store(0, std::memory_order_relaxed);
+    futex_call(head_futex_word(r.base), FUTEX_WAKE, INT_MAX, nullptr);
+  }
+#endif
 }
 
 bool ShmComm::try_append(int dest, std::uint16_t flags, int tag,
@@ -540,7 +596,45 @@ void ShmComm::release_view() {
   view_advance_ = 0;
 }
 
-void ShmComm::progress(double max_wait_seconds) {
+/// Arm the consumer_waiting flag on the inbound ring from `src` and
+/// park in FUTEX_WAIT on its head word. The arm-then-recheck sequence
+/// (seq_cst fence between) pairs with ring_commit's publish-then-check,
+/// so a commit racing with the arm either aborts the sleep here or
+/// triggers a wake there. The sleep is additionally bounded (50 ms cap
+/// under max_wait_seconds) so fault-injected stalls and missed close
+/// edges degrade to a short poll, never a hang.
+bool ShmComm::futex_wait_ring(int src, double max_wait_seconds) {
+#if defined(__linux__)
+  Ring& r = in_[static_cast<std::size_t>(src)];
+  if (r.base == nullptr) return false;
+  auto waiting = a32(r.base, kOffConsumerWaiting);
+  waiting.store(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const std::uint64_t h =
+      a64(r.base, kOffHead).load(std::memory_order_acquire);
+  if (h != r.pos ||
+      a32(r.base, kOffProducerClosed).load(std::memory_order_acquire) != 0) {
+    waiting.store(0, std::memory_order_relaxed);
+    return true;  // raced with a commit or a close — go drain instead
+  }
+  const double bound = std::min(max_wait_seconds, 0.05);
+  struct timespec ts{};
+  ts.tv_nsec = static_cast<long>(std::max(bound, 0.0) * 1e9);
+  ++stats_.futex_waits;
+  // Expected value = the head low word we just verified; a commit that
+  // slips in before the kernel's own recheck makes this return EAGAIN.
+  futex_call(head_futex_word(r.base), FUTEX_WAIT,
+             static_cast<std::uint32_t>(h), &ts);
+  waiting.store(0, std::memory_order_relaxed);
+  return true;
+#else
+  (void)src;
+  (void)max_wait_seconds;
+  return false;
+#endif
+}
+
+void ShmComm::progress(double max_wait_seconds, int src_hint) {
   auto pass = [this] {
     bool moved = false;
     for (int p = 0; p < cfg_.nranks; ++p) {
@@ -551,17 +645,38 @@ void ShmComm::progress(double max_wait_seconds) {
     return moved;
   };
   if (pass() || max_wait_seconds <= 0.0) return;
-  // Spin-then-yield: the halo exchange's latencies are microseconds, so
+  // Spin-then-futex: the halo exchange's latencies are microseconds, so
   // burn yields (spin_limit_, tuned in the constructor for the host's
-  // core count) before conceding a real sleep.
-  const double deadline = mono_now() + max_wait_seconds;
+  // core count) before conceding a real sleep. A caller blocked on one
+  // specific ring (src_hint) with no spilled sends pending parks in
+  // futex(2) and is woken by that producer's next commit — for such
+  // waits the yield phase is additionally time-capped (a busy host can
+  // stretch each yield to a scheduling quantum, and past a couple of
+  // milliseconds the wake-on-commit park is strictly cheaper than more
+  // yielding). Everyone else falls back to the short timed sleep so
+  // outbox retries keep flowing.
+  const double start = mono_now();
+  const double deadline = start + max_wait_seconds;
+  const double yield_deadline = start + 0.002;
+  const bool hinted =
+      src_hint >= 0 && src_hint != cfg_.rank && view_src_ == -1;
   int spins = 0;
   for (;;) {
     if (pass()) return;
-    if (mono_now() >= deadline) return;
-    if (++spins < spin_limit_)
+    const double now = mono_now();
+    if (now >= deadline) return;
+    bool spill_pending = false;
+    for (const auto& q : outbox_)
+      if (!q.empty()) {
+        spill_pending = true;
+        break;
+      }
+    const bool may_park = hinted && !spill_pending;
+    if (++spins < spin_limit_ && !(may_park && now >= yield_deadline)) {
       std::this_thread::yield();
-    else
+      continue;
+    }
+    if (!may_park || !futex_wait_ring(src_hint, deadline - now))
       std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
 }
@@ -613,7 +728,7 @@ std::vector<double> ShmComm::recv(int src, int tag) {
           "rank " + std::to_string(cfg_.rank) + ": recv timeout after " +
           std::to_string(timeout) + "s waiting for (src=" +
           std::to_string(src) + ", tag=" + std::to_string(tag) + ")");
-    progress(std::min(0.1, deadline - now));
+    progress(std::min(0.1, deadline - now), src);
   }
 }
 
@@ -710,6 +825,7 @@ void ShmComm::publish_stats() {
   reg.add(r, "shm/spilled_bytes", static_cast<double>(s.spilled_bytes));
   reg.add(r, "shm/recv_wait_seconds", s.recv_wait_seconds);
   reg.add(r, "shm/throttle_wait_seconds", s.throttle_wait_seconds);
+  reg.add(r, "shm/futex_waits", static_cast<double>(s.futex_waits));
 }
 
 // ---------------------------------------------------------------------------

@@ -31,7 +31,11 @@
 ///
 /// Frames larger than half a ring are split into fragments
 /// (kFrameFlagMoreFragments) so any message fits; waits are
-/// spin-then-yield, tuned for the halo exchange's short latencies.
+/// spin-then-futex: a bounded yield loop covers the halo exchange's
+/// microsecond latencies, and only when that comes up empty does the
+/// consumer arm a per-ring waiting flag and sleep in futex(2) on the
+/// ring's head word, so an idle rank costs no CPU until its producer
+/// commits (which issues FUTEX_WAKE exactly when the flag is armed).
 
 #include <cstddef>
 #include <cstdint>
@@ -66,6 +70,9 @@ struct ShmStats {
   long long spilled_bytes = 0;
   double recv_wait_seconds = 0.0;
   double throttle_wait_seconds = 0.0;
+  /// Times a blocking wait exhausted its yield budget and parked in
+  /// futex(2) on a ring's head word (zero on hosts without futex).
+  long long futex_waits = 0;
 };
 
 struct ShmCommConfig {
@@ -187,9 +194,16 @@ class ShmComm final : public Communicator {
   /// the mailbox (honoring an active zero-copy view); true if any moved.
   bool drain_ring(int src);
   /// One bounded step of the progress engine: drain all inbound rings
-  /// and retry every spilled outbox; sleeps briefly (spin-then-yield)
-  /// when nothing moved and max_wait_seconds > 0.
-  void progress(double max_wait_seconds);
+  /// and retry every spilled outbox; waits (spin-then-futex) when
+  /// nothing moved and max_wait_seconds > 0. `src_hint` names the ring
+  /// the caller is blocked on — the only ring worth a futex sleep; -1
+  /// (no hint, or spilled sends still pending) keeps the waiter in the
+  /// polling loop so outbox retries are never delayed by a sleep.
+  void progress(double max_wait_seconds, int src_hint = -1);
+  /// Park in futex(2) on the inbound ring from `src` until its producer
+  /// commits (or `max_wait_seconds` passes); false when the host has no
+  /// futex and the caller should fall back to a timed sleep.
+  bool futex_wait_ring(int src, double max_wait_seconds);
   bool try_pop(int src, int tag, std::vector<double>& out);
   void throttle(std::size_t bytes);
   bool peer_gone(int src) const;  ///< producer of inbound ring closed?

@@ -1,0 +1,57 @@
+#pragma once
+/// \file aligned.hpp
+/// Cache-line/SIMD-register aligned allocation for field storage.
+///
+/// The tile kernels sweep the direction-major field arrays with vector
+/// loads and stores. Those are issued unaligned (tile starts and push
+/// offsets land anywhere), but aligning each array's base to 64 bytes
+/// keeps whole cache lines inside one tile row and lets the padded
+/// per-direction stride (see DistField) start every direction on its own
+/// line — no direction straddles another's tail.
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace slipflow::util {
+
+/// Alignment of field storage: one cache line, which is also the widest
+/// vector register in play (AVX-512, 8 doubles).
+inline constexpr std::size_t kFieldAlignment = 64;
+
+/// `n` rounded up to the next multiple of `m` (m > 0).
+constexpr std::size_t round_up(std::size_t n, std::size_t m) {
+  return (n + m - 1) / m * m;
+}
+
+/// Minimal std::allocator drop-in that over-aligns every allocation.
+template <class T, std::size_t Align = kFieldAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0);
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// The storage type of every scalar lattice array.
+using AlignedDoubles = std::vector<double, AlignedAllocator<double>>;
+
+}  // namespace slipflow::util

@@ -295,6 +295,25 @@ TEST(ShmComm, StatsCountTrafficAndPublishToMetrics) {
   std::filesystem::remove_all(dir);
 }
 
+#if defined(__linux__)
+TEST(ShmComm, BlockedRecvParksInFutexAndWakesOnCommit) {
+  // The receiver blocks well past the spin budget (the sender sits out
+  // 200 ms before sending), so the wait must concede at least one
+  // futex(2) park — and the sender's commit must wake it promptly
+  // enough that the message still arrives.
+  run_ranks_shm(2, [](Communicator& c) {
+    if (c.rank() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      c.send(1, 7, pattern(32, 2.0));
+    } else {
+      EXPECT_EQ(c.recv(0, 7), pattern(32, 2.0));
+      EXPECT_GT(dynamic_cast<ShmComm&>(c).stats().futex_waits, 0);
+    }
+    c.barrier();
+  });
+}
+#endif
+
 TEST(ShmComm, DirUsableProbe) {
   const std::string dir = make_socket_temp_dir();
   EXPECT_TRUE(shm_dir_usable(dir));
