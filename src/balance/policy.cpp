@@ -107,8 +107,10 @@ Proposal local_balance(const std::optional<NodeLoad>& left,
   const double want = static_cast<double>(p.to_left + p.to_right);
   if (want > mine && want > 0.0) {
     const double scale = mine / want;
-    p.to_left = static_cast<long long>(std::floor(p.to_left * scale));
-    p.to_right = static_cast<long long>(std::floor(p.to_right * scale));
+    p.to_left = static_cast<long long>(
+        std::floor(static_cast<double>(p.to_left) * scale));
+    p.to_right = static_cast<long long>(
+        std::floor(static_cast<double>(p.to_right) * scale));
     if (p.to_right < cfg.min_transfer_points) p.to_right = 0;
     if (p.to_left < cfg.min_transfer_points) p.to_left = 0;
   }

@@ -153,9 +153,9 @@ int worker_main(int argc, const char* const* argv) {
   const double slow_clock_factor = opts.get("slow-clock-factor", 4.0);
   if (clock == "counting") {
     cfg.clock_factory = [=](int r) -> std::shared_ptr<obs::Clock> {
-      const double step =
+      const double tick =
           r == slow_clock_rank ? clock_step * slow_clock_factor : clock_step;
-      return std::make_shared<obs::CountingClock>(step);
+      return std::make_shared<obs::CountingClock>(tick);
     };
   } else if (clock != "wall") {
     std::fprintf(stderr, "rank %d: unknown --clock=%s\n", rank, clock.c_str());

@@ -23,6 +23,8 @@ inline constexpr int kTagBcastTree = -102;
 
 /// Rank-ordered allgather over `comm`'s point-to-point primitives.
 /// Handles ragged per-rank contribution sizes exactly.
+// det-lint: rank-ordered — contributions are keyed by rank in an
+// ordered map and concatenated 0..n-1 regardless of arrival order.
 inline std::vector<double> binomial_allgather(Communicator& comm,
                                               std::span<const double> mine) {
   const int n = comm.size();

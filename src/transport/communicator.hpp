@@ -134,6 +134,8 @@ class Communicator {
   /// rank. One collective instead of xs.size() scalar reductions. The
   /// default folds an allgather in rank order, which keeps the result
   /// byte-identical to summing scalar allreduces rank by rank.
+  // det-lint: rank-ordered — folds the rank-ordered allgather result
+  // in ascending rank index, never in completion order.
   virtual std::vector<double> allreduce_sum(std::span<const double> xs) {
     const std::size_t m = xs.size();
     const std::vector<double> all = allgather(xs);

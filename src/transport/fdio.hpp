@@ -30,6 +30,9 @@
 namespace slipflow::transport::fdio {
 
 inline double mono_now() {
+  // det-lint: allow(wall-clock): timeout/heartbeat plumbing only —
+  // never feeds observables or balancing decisions (those go through
+  // the injectable obs::Clock seam).
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();

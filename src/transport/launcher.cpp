@@ -90,6 +90,8 @@ LaunchResult launch_workers(const LaunchConfig& cfg) {
   // by a crashed earlier run carry a different tag and are re-created.
   const unsigned long long session =
       (static_cast<unsigned long long>(::getpid()) << 32) ^
+      // det-lint: allow(wall-clock): session-uniqueness tag for stale
+      // shm segment cleanup — an identifier, never a simulated value.
       static_cast<unsigned long long>(
           std::chrono::steady_clock::now().time_since_epoch().count());
 

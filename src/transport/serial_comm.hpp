@@ -41,11 +41,13 @@ class SerialComm final : public Communicator {
 
   void barrier() override {}
 
+  // det-lint: rank-ordered — single rank, trivially ordered.
   std::vector<double> allgather(std::span<const double> mine) override {
     return {mine.begin(), mine.end()};
   }
 
   using Communicator::allreduce_sum;  // the vector overload
+  // det-lint: rank-ordered — single rank, trivially ordered.
   double allreduce_sum(double x) override { return x; }
   double allreduce_max(double x) override { return x; }
 

@@ -775,12 +775,16 @@ RecvHandlePtr ShmComm::irecv(int src, int tag) {
   return std::make_unique<Handle>(*this, src, tag);
 }
 
+// det-lint: rank-ordered — delegates to binomial_allgather, which
+// concatenates contributions by rank index (collectives.hpp).
 std::vector<double> ShmComm::allgather(std::span<const double> mine) {
   return binomial_allgather(*this, mine);
 }
 
 void ShmComm::barrier() { (void)allgather({}); }
 
+// det-lint: rank-ordered — folds the rank-ordered allgather result
+// left to right in rank index order.
 double ShmComm::allreduce_sum(double x) {
   const std::vector<double> all = allgather(std::span<const double>(&x, 1));
   double s = 0.0;
@@ -788,6 +792,7 @@ double ShmComm::allreduce_sum(double x) {
   return s;
 }
 
+// det-lint: rank-ordered — max over the rank-ordered allgather.
 double ShmComm::allreduce_max(double x) {
   const std::vector<double> all = allgather(std::span<const double>(&x, 1));
   double m = all.front();
@@ -858,6 +863,8 @@ namespace {
 std::uint64_t fresh_session() {
   static std::atomic<std::uint64_t> counter{0};
   return (static_cast<std::uint64_t>(::getpid()) << 32) ^
+         // det-lint: allow(wall-clock): session-uniqueness tag for ring
+         // segment naming — an identifier, never a simulated value.
          static_cast<std::uint64_t>(
              std::chrono::steady_clock::now().time_since_epoch().count()) ^
          counter.fetch_add(1, std::memory_order_relaxed);

@@ -431,12 +431,16 @@ RecvHandlePtr SocketComm::irecv(int src, int tag) {
   return std::make_unique<Handle>(*this, src, tag);
 }
 
+// det-lint: rank-ordered — delegates to binomial_allgather, which
+// concatenates contributions by rank index (collectives.hpp).
 std::vector<double> SocketComm::allgather(std::span<const double> mine) {
   return binomial_allgather(*this, mine);
 }
 
 void SocketComm::barrier() { (void)allgather({}); }
 
+// det-lint: rank-ordered — folds the rank-ordered allgather result
+// left to right in rank index order.
 double SocketComm::allreduce_sum(double x) {
   const std::vector<double> all = allgather(std::span<const double>(&x, 1));
   double s = 0.0;
@@ -444,6 +448,7 @@ double SocketComm::allreduce_sum(double x) {
   return s;
 }
 
+// det-lint: rank-ordered — max over the rank-ordered allgather.
 double SocketComm::allreduce_max(double x) {
   const std::vector<double> all = allgather(std::span<const double>(&x, 1));
   double m = all.front();

@@ -78,6 +78,8 @@ std::vector<double> blocking_recv(ThreadCommShared& sh, int rank, int src,
   };
   const double timeout = sh.opts.recv_timeout;
   if (timeout > 0.0) {
+    // det-lint: allow(wall-clock): recv-timeout deadline — failure
+    // diagnostics only, never feeds observables.
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::duration_cast<
                               std::chrono::steady_clock::duration>(
@@ -152,12 +154,16 @@ class Endpoint final : public Communicator {
 
   void barrier() override { collective({}, /*want_result=*/false); }
 
+  // det-lint: rank-ordered — collective() concatenates the shared
+  // mailbox contributions indexed by rank, not by arrival.
   std::vector<double> allgather(std::span<const double> mine) override {
     return collective(mine, /*want_result=*/true);
   }
 
   using Communicator::allreduce_sum;  // the vector overload
 
+  // det-lint: rank-ordered — folds the rank-ordered allgather result
+  // left to right in rank index order.
   double allreduce_sum(double x) override {
     const std::vector<double> all = allgather(std::span<const double>(&x, 1));
     double s = 0.0;
@@ -165,6 +171,7 @@ class Endpoint final : public Communicator {
     return s;
   }
 
+  // det-lint: rank-ordered — max over the rank-ordered allgather.
   double allreduce_max(double x) override {
     const std::vector<double> all = allgather(std::span<const double>(&x, 1));
     double m = all.front();

@@ -1,0 +1,233 @@
+// Tests for the determinism lint (tools/determinism_lint): each rule
+// must fire on a planted construct, stay quiet on the deterministic
+// equivalent, and honor the det-lint annotation allowlist.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "determinism_lint/determinism_lint.hpp"
+
+using namespace slipflow::tools;
+
+namespace {
+
+std::vector<LintFinding> lint(const char* source) {
+  return lint_source("test.cpp", source);
+}
+
+std::size_t count_rule(const std::vector<LintFinding>& fs, const char* rule,
+                       bool include_allowlisted = false) {
+  return static_cast<std::size_t>(std::count_if(
+      fs.begin(), fs.end(), [&](const LintFinding& f) {
+        return f.rule == rule && (include_allowlisted || !f.allowlisted);
+      }));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// unordered-iteration
+
+TEST(UnorderedIteration, RangeForOverUnorderedMapFires) {
+  const auto fs = lint(R"(
+    #include <unordered_map>
+    double total_mass(const std::unordered_map<int, double>& cells) {
+      std::unordered_map<int, double> local = cells;
+      double sum = 0.0;
+      for (const auto& [idx, rho] : local) sum += rho;  // planted
+      return sum;
+    }
+  )");
+  ASSERT_EQ(count_rule(fs, "unordered-iteration"), 1u);
+  EXPECT_EQ(fs.front().file, "test.cpp");
+  EXPECT_NE(fs.front().message.find("hash order"), std::string::npos);
+}
+
+TEST(UnorderedIteration, IteratorLoopAndInlineTypeFire) {
+  const auto fs = lint(R"(
+    std::unordered_set<long> seen;
+    void emit() {
+      for (auto it = seen.begin(); it != seen.end(); ++it) send(*it);
+    }
+    void direct() {
+      for (int v : std::unordered_set<int>{1, 2, 3}) push(v);
+    }
+  )");
+  EXPECT_EQ(count_rule(fs, "unordered-iteration"), 2u);
+}
+
+TEST(UnorderedIteration, OrderedMapIsQuiet) {
+  const auto fs = lint(R"(
+    #include <map>
+    double total(const std::map<int, double>& cells) {
+      double sum = 0.0;
+      for (const auto& [idx, rho] : cells) sum += rho;
+      return sum;
+    }
+  )");
+  EXPECT_EQ(count_rule(fs, "unordered-iteration"), 0u);
+}
+
+TEST(UnorderedIteration, AllowAnnotationSuppresses) {
+  const auto fs = lint(R"(
+    std::unordered_map<int, double> cache;
+    void drop_all() {
+      // det-lint: allow(unordered-iteration): destruction order is
+      // observable-free — the loop only calls close().
+      for (auto& [k, v] : cache) close(v);
+    }
+  )");
+  EXPECT_EQ(count_rule(fs, "unordered-iteration"), 0u);
+  // ...but the audit trail keeps the site visible
+  EXPECT_EQ(count_rule(fs, "unordered-iteration", true), 1u);
+  EXPECT_TRUE(fs.front().allowlisted);
+}
+
+// ---------------------------------------------------------------------------
+// pointer-order
+
+TEST(PointerOrder, PointerKeyedContainersFire) {
+  const auto fs = lint(R"(
+    std::map<Node*, int> owners;
+    std::set<const Slab*> dirty;
+  )");
+  EXPECT_EQ(count_rule(fs, "pointer-order"), 2u);
+}
+
+TEST(PointerOrder, LessOnPointersFires) {
+  const auto fs = lint("std::less<Node*> by_address;\n");
+  EXPECT_EQ(count_rule(fs, "pointer-order"), 1u);
+}
+
+TEST(PointerOrder, ValueKeyedContainersAreQuiet) {
+  const auto fs = lint(R"(
+    std::map<int, Node*> by_rank;        // pointer VALUES are fine
+    std::set<std::string> names;
+    std::map<std::pair<int, int>, double> edges;
+  )");
+  EXPECT_EQ(count_rule(fs, "pointer-order"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock
+
+TEST(WallClock, ClockAndRandomSourcesFire) {
+  const auto fs = lint(R"(
+    double t0 = std::chrono::steady_clock::now().time_since_epoch().count();
+    auto wall = std::chrono::system_clock::now();
+    int r = rand();
+    srand(42);
+    std::random_device rd;
+    std::time_t t = time(nullptr);
+    struct timespec ts; clock_gettime(CLOCK_MONOTONIC, &ts);
+  )");
+  EXPECT_EQ(count_rule(fs, "wall-clock"), 7u);
+}
+
+TEST(WallClock, LookalikeIdentifiersAreQuiet) {
+  const auto fs = lint(R"(
+    double operand(int x);           // contains "rand"
+    void f() { operand(3); }
+    double elapsed = clock_->now();  // the injectable seam
+    auto d = t.time_since_epoch();   // member named time_since_epoch
+    int randomize_layout = 0;        // identifier prefix
+    run_time(5);
+  )");
+  EXPECT_EQ(count_rule(fs, "wall-clock"), 0u);
+}
+
+TEST(WallClock, CommentsAndStringsAreQuiet) {
+  const auto fs = lint(R"(
+    // calling rand() here would break determinism
+    /* steady_clock::now() is forbidden in this layer */
+    const char* msg = "rand() and steady_clock::now() in a string";
+  )");
+  EXPECT_EQ(count_rule(fs, "wall-clock"), 0u);
+}
+
+TEST(WallClock, AllowAnnotationSuppresses) {
+  const auto fs = lint(R"(
+    // det-lint: allow(wall-clock): heartbeat timeout only, never
+    // feeds observables.
+    double deadline = std::chrono::steady_clock::now().time_since_epoch().count();
+  )");
+  EXPECT_EQ(count_rule(fs, "wall-clock"), 0u);
+  EXPECT_EQ(count_rule(fs, "wall-clock", true), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// unordered-collective
+
+TEST(UnorderedCollective, UnannotatedDefinitionFires) {
+  const auto fs = lint(R"(
+    std::vector<double> MyComm::allgather(std::span<const double> mine) {
+      return gather_any_order(mine);
+    }
+  )");
+  ASSERT_EQ(count_rule(fs, "unordered-collective"), 1u);
+  EXPECT_NE(fs.front().message.find("rank-ordered"), std::string::npos);
+}
+
+TEST(UnorderedCollective, RankOrderedAnnotationSatisfies) {
+  const auto fs = lint(R"(
+    // det-lint: rank-ordered — concatenates contributions by rank index.
+    std::vector<double> MyComm::allgather(std::span<const double> mine) {
+      return gather_rank_ordered(mine);
+    }
+  )");
+  EXPECT_EQ(count_rule(fs, "unordered-collective", true), 0u);
+}
+
+TEST(UnorderedCollective, DerivedNamesAndMultilineHeadersFire) {
+  const auto fs = lint(R"(
+    double allreduce_sum(double x) override {
+      return fold(x);
+    }
+    inline std::vector<double> binomial_allgather(Communicator& comm,
+                                                  std::span<const double> m) {
+      return tree(comm, m);
+    }
+  )");
+  EXPECT_EQ(count_rule(fs, "unordered-collective"), 2u);
+}
+
+TEST(UnorderedCollective, CallSitesAndDeclarationsAreQuiet) {
+  const auto fs = lint(R"(
+    virtual std::vector<double> allgather(std::span<const double> mine) = 0;
+    double allreduce_max(double x) override;
+    using Communicator::allreduce_sum;
+    void step() {
+      const std::vector<double> all = comm_.allgather(mine);
+      const double m = comm->allreduce_max(x);
+      (void)allgather({});
+      return binomial_allgather(*this, mine);
+    }
+  )");
+  EXPECT_EQ(count_rule(fs, "unordered-collective", true), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// reporting
+
+TEST(Report, JsonIsDeterministicAndComplete) {
+  const auto fs = lint(R"(
+    int r = rand();
+    // det-lint: allow(wall-clock): test fixture.
+    srand(1);
+  )");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(count_violations(fs), 1u);
+  const std::string json = lint_report_json(fs);
+  EXPECT_NE(json.find("\"finding_count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"violation_count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"allowlisted\": true"), std::string::npos);
+  EXPECT_EQ(json, lint_report_json(fs));
+}
+
+TEST(Report, LineNumbersAreOneBasedAndAccurate) {
+  const auto fs = lint("int a;\nint b;\nint r = rand();\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs.front().line, 3);
+  EXPECT_EQ(fs.front().excerpt, "int r = rand();");
+}

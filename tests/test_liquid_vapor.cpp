@@ -106,7 +106,8 @@ Droplet run_droplet(double seed_radius, double g) {
   // background seeded near the vapor coexistence density so the vapor is
   // not inside the spinodal (it would condense everywhere otherwise)
   sim.initialize([&](std::size_t, index_t, index_t gy, index_t gz) {
-    const double dy = gy - cy, dz = gz - cz;
+    const double dy = static_cast<double>(gy) - cy;
+    const double dz = static_cast<double>(gz) - cz;
     return std::sqrt(dy * dy + dz * dz) < seed_radius ? 1.9 : 0.2;
   });
   sim.run(3000);

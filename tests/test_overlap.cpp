@@ -154,10 +154,11 @@ TEST_P(OverlapThreadRanks, OverlapMatchesBlockingForEveryThreadCount) {
   ASSERT_FALSE(blocking.empty());
   // the slowed rank must actually migrate planes, or this test would not
   // cover the mid-run plan rebuild path
-  if (ranks == 4)
+  if (ranks == 4) {
     EXPECT_EQ(blocking.find("rank 1 planes 4 sent 0"), std::string::npos)
         << "expected rank 1 to shed planes:\n"
         << blocking.substr(0, 300);
+  }
   for (int threads : {1, 2, 4})
     EXPECT_EQ(run_threads(ranks, sim::StepMode::overlap, threads), blocking)
         << "overlap with " << threads << " threads diverged at " << ranks

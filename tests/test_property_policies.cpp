@@ -51,8 +51,12 @@ TEST_P(RandomizedPolicy, ProposalsAlwaysWithinBounds) {
     ASSERT_TRUE(p.to_left == 0 || p.to_left >= cfg.min_transfer_points);
     ASSERT_TRUE(p.to_right == 0 || p.to_right >= cfg.min_transfer_points);
     // proposals only toward existing neighbors
-    if (!has_left) ASSERT_EQ(p.to_left, 0);
-    if (!has_right) ASSERT_EQ(p.to_right, 0);
+    if (!has_left) {
+      ASSERT_EQ(p.to_left, 0);
+    }
+    if (!has_right) {
+      ASSERT_EQ(p.to_right, 0);
+    }
   }
 }
 
@@ -94,8 +98,12 @@ TEST_P(RandomizedPolicy, NeverShipsTowardSlowerNeighborByDefault) {
     const NodeLoad me = random_load(rng);
     const NodeLoad l = random_load(rng), r = random_load(rng);
     const Proposal p = policy->decide(l, me, r, cfg);
-    if (p.to_left > 0) ASSERT_GT(l.speed(), me.speed());
-    if (p.to_right > 0) ASSERT_GT(r.speed(), me.speed());
+    if (p.to_left > 0) {
+      ASSERT_GT(l.speed(), me.speed());
+    }
+    if (p.to_right > 0) {
+      ASSERT_GT(r.speed(), me.speed());
+    }
   }
 }
 
@@ -131,8 +139,9 @@ TEST(RandomizedGlobal, FasterNodeNeverTargetsFewerPoints) {
     const auto target = policy.decide_global(loads, cfg);
     for (std::size_t i = 0; i < 3; ++i)
       for (std::size_t j = 0; j < 3; ++j)
-        if (loads[i].speed() > loads[j].speed() * 1.01)
+        if (loads[i].speed() > loads[j].speed() * 1.01) {
           ASSERT_GE(target[i] + 1, target[j]);
+        }
   }
 }
 
@@ -144,7 +153,9 @@ TEST(RandomizedResolve, AntisymmetricAndThresholded) {
     const long long thr = static_cast<long long>(rng.uniform(1, 5000));
     const long long net = resolve_pair(a, b, thr);
     ASSERT_EQ(resolve_pair(b, a, thr), -net);
-    if (net != 0) ASSERT_GE(std::llabs(net), thr);
+    if (net != 0) {
+      ASSERT_GE(std::llabs(net), thr);
+    }
     ASSERT_EQ(net == 0 ? 0 : (net > 0 ? 1 : -1),
               std::llabs(a - b) < thr ? 0 : (a > b ? 1 : -1));
   }

@@ -192,7 +192,9 @@ TEST(ShmComm, StaleSegmentsAreReplacedAndCleanedUp) {
       [](Communicator& c) {
         const int peer = 1 - c.rank();
         if (c.rank() == 0) c.send(peer, 1, std::vector<double>{42.0});
-        if (c.rank() == 1) EXPECT_EQ(c.recv(0, 1), std::vector<double>{42.0});
+        if (c.rank() == 1) {
+          EXPECT_EQ(c.recv(0, 1), std::vector<double>{42.0});
+        }
         c.barrier();
       },
       o);
@@ -278,7 +280,9 @@ TEST(ShmComm, StatsCountTrafficAndPublishToMetrics) {
     cfg.metrics = &reg;
     ShmComm c(cfg);
     if (rank == 0) c.send(1, 1, pattern(64, 1.0));
-    if (rank == 1) EXPECT_EQ(c.recv(0, 1), pattern(64, 1.0));
+    if (rank == 1) {
+      EXPECT_EQ(c.recv(0, 1), pattern(64, 1.0));
+    }
     c.barrier();
     const ShmStats s = c.stats();
     EXPECT_GT(s.messages_sent, 0);

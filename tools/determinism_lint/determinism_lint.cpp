@@ -1,0 +1,494 @@
+/// \file determinism_lint.cpp
+/// See determinism_lint.hpp for the rule catalogue.
+
+#include "determinism_lint/determinism_lint.hpp"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/json.hpp"
+
+namespace slipflow::tools {
+
+namespace {
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return std::string(s);
+}
+
+/// One physical source line split into a code part (string-literal
+/// contents blanked, comments removed) and the comment text (where the
+/// det-lint annotations live).
+struct SplitLine {
+  std::string code;
+  std::string comment;
+};
+
+std::vector<SplitLine> split_lines(std::string_view content) {
+  std::vector<SplitLine> lines;
+  SplitLine cur;
+  bool in_block = false, in_str = false, in_chr = false, in_line_comment = false;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur = SplitLine{};
+      in_str = in_chr = in_line_comment = false;  // strings don't span lines
+      continue;
+    }
+    if (in_line_comment) {
+      cur.comment.push_back(c);
+      continue;
+    }
+    if (in_block) {
+      if (c == '*' && next == '/') {
+        in_block = false;
+        ++i;
+      } else {
+        cur.comment.push_back(c);
+      }
+      continue;
+    }
+    if (in_str) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_str = false;
+        cur.code.push_back('"');
+        continue;
+      }
+      cur.code.push_back(' ');  // blank literal contents
+      continue;
+    }
+    if (in_chr) {
+      if (c == '\\')
+        ++i;
+      else if (c == '\'')
+        in_chr = false;
+      cur.code.push_back(' ');
+      continue;
+    }
+    if (c == '/' && next == '/') {
+      in_line_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      in_block = true;
+      cur.code.push_back(' ');
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_str = true;
+      cur.code.push_back('"');
+      continue;
+    }
+    if (c == '\'' && (i == 0 || !is_ident(content[i - 1]))) {
+      // character literal (not a digit separator like 1'000)
+      in_chr = true;
+      cur.code.push_back(' ');
+      continue;
+    }
+    cur.code.push_back(c);
+  }
+  lines.push_back(std::move(cur));
+  return lines;
+}
+
+/// Position of identifier token `tok` in `code` starting at `from`,
+/// with identifier boundaries on both sides. npos if absent.
+std::size_t find_token(std::string_view code, std::string_view tok,
+                       std::size_t from = 0) {
+  std::size_t pos = from;
+  while ((pos = code.find(tok, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident(code[pos - 1]);
+    const std::size_t end = pos + tok.size();
+    const bool right_ok = end >= code.size() || !is_ident(code[end]);
+    if (left_ok && right_ok) return pos;
+    ++pos;
+  }
+  return std::string_view::npos;
+}
+
+bool has_token(std::string_view code, std::string_view tok) {
+  return find_token(code, tok) != std::string_view::npos;
+}
+
+/// Token immediately followed by '(' (ignoring spaces).
+bool has_call(std::string_view code, std::string_view tok) {
+  std::size_t pos = 0;
+  while ((pos = find_token(code, tok, pos)) != std::string_view::npos) {
+    std::size_t j = pos + tok.size();
+    while (j < code.size() && code[j] == ' ') ++j;
+    if (j < code.size() && code[j] == '(') return true;
+    ++pos;
+  }
+  return false;
+}
+
+/// Match the first top-level template-argument of `std::map<HERE, ...>`
+/// style text starting at the '<'. Returns the trimmed argument or ""
+/// when brackets don't close on this line.
+std::string first_template_arg(std::string_view code, std::size_t lt) {
+  int depth = 0;
+  std::size_t start = lt + 1;
+  for (std::size_t i = lt; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '<') ++depth;
+    else if (c == '>') {
+      --depth;
+      if (depth == 0) return trim(code.substr(start, i - start));
+    } else if (c == ',' && depth == 1) {
+      return trim(code.substr(start, i - start));
+    }
+  }
+  return "";
+}
+
+/// Identifier declared right after a closing template bracket:
+/// "std::unordered_map<K, V> name;" -> "name". Empty if none.
+std::string declared_name_after(std::string_view code, std::size_t lt) {
+  int depth = 0;
+  std::size_t i = lt;
+  for (; i < code.size(); ++i) {
+    if (code[i] == '<') ++depth;
+    else if (code[i] == '>') {
+      --depth;
+      if (depth == 0) {
+        ++i;
+        break;
+      }
+    }
+  }
+  if (depth != 0) return "";
+  while (i < code.size() &&
+         (code[i] == ' ' || code[i] == '&' || code[i] == '*'))
+    ++i;
+  std::size_t start = i;
+  while (i < code.size() && is_ident(code[i])) ++i;
+  return std::string(code.substr(start, i - start));
+}
+
+/// All identifiers appearing in `code`.
+std::vector<std::pair<std::size_t, std::string>> identifiers(
+    std::string_view code) {
+  std::vector<std::pair<std::size_t, std::string>> out;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    if (is_ident(code[i]) &&
+        !std::isdigit(static_cast<unsigned char>(code[i]))) {
+      std::size_t start = i;
+      while (i < code.size() && is_ident(code[i])) ++i;
+      out.emplace_back(start, std::string(code.substr(start, i - start)));
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// The range-expression of a range-for on this line, or "" if none.
+std::string range_for_expr(std::string_view code) {
+  std::size_t pos = find_token(code, "for");
+  if (pos == std::string_view::npos) return "";
+  std::size_t open = code.find('(', pos);
+  if (open == std::string_view::npos) return "";
+  int depth = 0;
+  std::size_t colon = std::string_view::npos, close = std::string_view::npos;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0 && c == ')') {
+        close = i;
+        break;
+      }
+    } else if (c == ':' && depth == 1 &&
+               (i == 0 || code[i - 1] != ':') &&
+               (i + 1 >= code.size() || code[i + 1] != ':')) {
+      if (colon == std::string_view::npos) colon = i;
+    }
+  }
+  if (colon == std::string_view::npos || close == std::string_view::npos ||
+      close <= colon)
+    return "";
+  return trim(code.substr(colon + 1, close - colon - 1));
+}
+
+struct AnnotationIndex {
+  // per-line sets of allowed rules, and rank-ordered markers
+  std::vector<std::vector<std::string>> allows;
+  std::vector<bool> rank_ordered;
+};
+
+AnnotationIndex index_annotations(const std::vector<SplitLine>& lines) {
+  AnnotationIndex idx;
+  idx.allows.resize(lines.size());
+  idx.rank_ordered.assign(lines.size(), false);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& c = lines[i].comment;
+    std::size_t pos = c.find("det-lint:");
+    if (pos == std::string::npos) continue;
+    const std::string_view rest = std::string_view(c).substr(pos + 9);
+    if (rest.find("rank-ordered") != std::string_view::npos)
+      idx.rank_ordered[i] = true;
+    std::size_t a = rest.find("allow(");
+    if (a != std::string_view::npos) {
+      const std::size_t close = rest.find(')', a);
+      if (close != std::string_view::npos)
+        idx.allows[i].push_back(
+            trim(rest.substr(a + 6, close - a - 6)));
+    }
+  }
+  return idx;
+}
+
+bool allowed(const AnnotationIndex& idx, std::size_t line,
+             const std::string& rule) {
+  // annotation on the same line or within the 4 lines above — wide
+  // enough for a multi-line annotation comment over a multi-line
+  // expression, narrow enough that one annotation can't blanket a file
+  const std::size_t lo = line >= 4 ? line - 4 : 0;
+  for (std::size_t l = lo; l <= line; ++l)
+    for (const std::string& r : idx.allows[l])
+      if (r == rule) return true;
+  return false;
+}
+
+bool rank_ordered_near(const AnnotationIndex& idx, std::size_t line) {
+  // within the 5 lines above or on the definition line itself
+  const std::size_t lo = line >= 5 ? line - 5 : 0;
+  for (std::size_t l = lo; l <= line; ++l)
+    if (idx.rank_ordered[l]) return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<LintFinding> lint_source(std::string_view path,
+                                     std::string_view content) {
+  const std::vector<SplitLine> lines = split_lines(content);
+  const AnnotationIndex ann = index_annotations(lines);
+  std::vector<LintFinding> findings;
+
+  const auto emit = [&](std::size_t line_idx, const char* rule,
+                        std::string message) {
+    LintFinding f;
+    f.file = std::string(path);
+    f.line = static_cast<int>(line_idx) + 1;
+    f.rule = rule;
+    f.message = std::move(message);
+    f.excerpt = trim(lines[line_idx].code);
+    f.allowlisted = allowed(ann, line_idx, f.rule);
+    findings.push_back(std::move(f));
+  };
+
+  // Pass 1: names declared as unordered containers in this file.
+  std::unordered_set<std::string> unordered_names;
+  for (const SplitLine& l : lines) {
+    for (const char* tok : {"unordered_map", "unordered_set",
+                            "unordered_multimap", "unordered_multiset"}) {
+      const std::size_t pos = find_token(l.code, tok);
+      if (pos == std::string_view::npos) continue;
+      const std::size_t lt = l.code.find('<', pos);
+      if (lt == std::string::npos) continue;
+      const std::string name = declared_name_after(l.code, lt);
+      if (!name.empty() && name != "const") unordered_names.insert(name);
+    }
+  }
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    if (code.empty()) continue;
+
+    // --- unordered-iteration -------------------------------------------
+    {
+      const std::string expr = range_for_expr(code);
+      bool fire = false;
+      if (!expr.empty()) {
+        if (expr.find("unordered_") != std::string::npos) fire = true;
+        for (const auto& [pos, id] : identifiers(expr))
+          if (unordered_names.count(id)) fire = true;
+      }
+      if (!fire) {
+        // iterator-style loops: <unordered name>.begin()/.cbegin()
+        for (const std::string& name : unordered_names) {
+          std::size_t pos = 0;
+          while ((pos = find_token(code, name, pos)) !=
+                 std::string_view::npos) {
+            const std::string_view after =
+                std::string_view(code).substr(pos + name.size());
+            if (after.substr(0, 7) == ".begin(" ||
+                after.substr(0, 8) == ".cbegin(")
+              fire = true;
+            ++pos;
+          }
+        }
+      }
+      if (fire)
+        emit(i, "unordered-iteration",
+             "iteration over an unordered container: hash order is not "
+             "deterministic across runs/ranks and must not feed FP "
+             "accumulation or message emission");
+    }
+
+    // --- pointer-order --------------------------------------------------
+    {
+      bool fire = false;
+      std::string what;
+      for (const char* tok :
+           {"map", "set", "multimap", "multiset", "priority_queue", "less",
+            "greater"}) {
+        std::size_t pos = 0;
+        while ((pos = find_token(code, tok, pos)) != std::string_view::npos) {
+          const std::size_t lt = pos + std::string_view(tok).size();
+          if (lt < code.size() && code[lt] == '<') {
+            const std::string arg = first_template_arg(code, lt);
+            if (!arg.empty() && arg.back() == '*') {
+              fire = true;
+              what = std::string(tok) + "<" + arg + ">";
+            }
+          }
+          ++pos;
+        }
+      }
+      if (fire)
+        emit(i, "pointer-order",
+             "ordering keyed on pointer values (" + what +
+                 "): allocation addresses differ across runs under ASLR, "
+                 "so iteration order is not reproducible");
+    }
+
+    // --- wall-clock ------------------------------------------------------
+    {
+      const char* hit = nullptr;
+      for (const char* sub :
+           {"steady_clock::now", "system_clock::now",
+            "high_resolution_clock::now"})
+        if (code.find(sub) != std::string::npos) hit = sub;
+      for (const char* tok : {"random_device", "gettimeofday",
+                              "clock_gettime", "timespec_get", "drand48",
+                              "rand_r"})
+        if (!hit && has_token(code, tok)) hit = tok;
+      for (const char* fn : {"rand", "srand", "time"})
+        if (!hit && has_call(code, fn)) hit = fn;
+      if (hit)
+        emit(i, "wall-clock",
+             std::string("nondeterministic source '") + hit +
+                 "' outside the injectable clock seam (obs/clock.hpp): "
+                 "decisions based on it diverge across runs");
+    }
+
+    // --- unordered-collective -------------------------------------------
+    {
+      // Join up to 3 lines so a definition whose brace opens on the
+      // next line is still seen; only flag matches that start on line i.
+      std::string joined = code;
+      for (std::size_t j = i + 1; j < lines.size() && j < i + 3; ++j) {
+        joined += ' ';
+        joined += lines[j].code;
+      }
+      for (const auto& [pos, id] : identifiers(code)) {
+        if (id.find("allgather") == std::string::npos &&
+            id.find("allreduce") == std::string::npos)
+          continue;
+        // member calls are the caller's side, not the contract site
+        std::size_t b = pos;
+        while (b > 0 && joined[b - 1] == ' ') --b;
+        if (b > 0 && joined[b - 1] == '.') continue;
+        if (b > 1 && joined[b - 2] == '-' && joined[b - 1] == '>') continue;
+        // definition = name ( params ) [const/override/noexcept] {
+        std::size_t j = pos + id.size();
+        while (j < joined.size() && joined[j] == ' ') ++j;
+        if (j >= joined.size() || joined[j] != '(') continue;
+        int depth = 0;
+        std::size_t close = std::string::npos;
+        for (std::size_t k = j; k < joined.size(); ++k) {
+          if (joined[k] == '(') ++depth;
+          else if (joined[k] == ')') {
+            if (--depth == 0) {
+              close = k;
+              break;
+            }
+          } else if (joined[k] == ';') {
+            break;
+          }
+        }
+        if (close == std::string::npos) continue;
+        std::string_view tail = std::string_view(joined).substr(close + 1);
+        bool is_def = false;
+        for (;;) {
+          while (!tail.empty() && tail.front() == ' ') tail.remove_prefix(1);
+          if (tail.empty()) break;
+          if (tail.front() == '{') {
+            is_def = true;
+            break;
+          }
+          bool skipped = false;
+          for (const std::string_view kw :
+               {std::string_view("const"), std::string_view("override"),
+                std::string_view("noexcept"), std::string_view("final")}) {
+            if (tail.substr(0, kw.size()) == kw &&
+                (tail.size() == kw.size() || !is_ident(tail[kw.size()]))) {
+              tail.remove_prefix(kw.size());
+              skipped = true;
+              break;
+            }
+          }
+          if (!skipped) break;
+        }
+        if (is_def && !rank_ordered_near(ann, i))
+          emit(i, "unordered-collective",
+               "collective '" + id +
+                   "' definition lacks a 'det-lint: rank-ordered' "
+                   "annotation asserting its fold/concatenation order is a "
+                   "function of rank, not completion order");
+      }
+    }
+  }
+  return findings;
+}
+
+std::size_t count_violations(const std::vector<LintFinding>& findings) {
+  std::size_t n = 0;
+  for (const LintFinding& f : findings)
+    if (!f.allowlisted) ++n;
+  return n;
+}
+
+std::string lint_report_json(const std::vector<LintFinding>& findings) {
+  using util::json_number;
+  using util::json_string;
+  std::string out = "{\n";
+  out += "  \"finding_count\": " +
+         json_number(static_cast<long long>(findings.size())) + ",\n";
+  out += "  \"violation_count\": " +
+         json_number(static_cast<long long>(count_violations(findings))) +
+         ",\n";
+  out += "  \"findings\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const LintFinding& f = findings[i];
+    out += "    {\"file\": " + json_string(f.file) +
+           ", \"line\": " + json_number(static_cast<long long>(f.line)) +
+           ", \"rule\": " + json_string(f.rule) +
+           ", \"allowlisted\": " + (f.allowlisted ? "true" : "false") +
+           ", \"message\": " + json_string(f.message) +
+           ", \"excerpt\": " + json_string(f.excerpt) + "}";
+    out += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace slipflow::tools

@@ -1,0 +1,59 @@
+#pragma once
+/// \file determinism_lint.hpp
+/// Source-level checker for constructs that break the repo's
+/// bit-reproducibility contract (sequential ≡ parallel for any rank ×
+/// thread × backend combination, byte-identical observables across
+/// transports). It is a deliberately simple lexical analyzer — no AST —
+/// tuned to the four construct families that have historically broken
+/// reproducibility in parallel LBM codes:
+///
+///   unordered-iteration   iterating std::unordered_map/unordered_set
+///                         (hash order is seed/pointer dependent) where
+///                         the order can feed floating-point
+///                         accumulation or message emission
+///   pointer-order         ordering keyed on pointer values
+///                         (std::map<T*,..>, std::set<T*>,
+///                         std::less<T*>) — allocation-address
+///                         dependent, differs run to run under ASLR
+///   wall-clock            rand()/std::random_device/time()/
+///                         chrono ::now() reads outside the injectable
+///                         clock seam (obs/clock.hpp) — decisions made
+///                         on measured time diverge across runs
+///   unordered-collective  allreduce/allgather definitions that do not
+///                         carry the `det-lint: rank-ordered`
+///                         annotation asserting their fold/concat order
+///                         is a function of rank, not completion order
+///
+/// Audited sites are annotated in source:
+///   // det-lint: allow(<rule>): <reason>     (same line or line above)
+///   // det-lint: rank-ordered ...            (within 5 lines above a
+///                                             collective definition)
+/// Allowlisted findings are still reported (with allowlisted=true) so
+/// the audit trail stays visible in the JSON report.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slipflow::tools {
+
+struct LintFinding {
+  std::string file;
+  int line = 0;           // 1-based
+  std::string rule;       // kebab-case rule id, e.g. "wall-clock"
+  std::string message;
+  std::string excerpt;    // the offending source line, trimmed
+  bool allowlisted = false;
+};
+
+/// Lint one file's contents. `path` is used only for reporting.
+std::vector<LintFinding> lint_source(std::string_view path,
+                                     std::string_view content);
+
+/// Deterministic JSON report (CI artifact).
+std::string lint_report_json(const std::vector<LintFinding>& findings);
+
+/// Convenience: number of findings with allowlisted == false.
+std::size_t count_violations(const std::vector<LintFinding>& findings);
+
+}  // namespace slipflow::tools

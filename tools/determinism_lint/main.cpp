@@ -1,0 +1,118 @@
+/// \file main.cpp
+/// CLI for the determinism lint.
+///
+///   determinism_lint [--root=.] [--json=report.json]
+///                    [--include-allowlisted] [dirs...]
+///   determinism_lint --file=snippet.cpp        (fixture mode)
+///
+/// With no positional dirs the default scope is the four directories
+/// whose code can perturb observables: src/lbm, src/sim, src/transport,
+/// src/balance. Scans *.hpp, *.cpp, *.inl. Allowlisted findings (sites
+/// annotated `// det-lint: allow(<rule>): reason` or collectives
+/// annotated `det-lint: rank-ordered`) are reported for the audit trail
+/// but do not fail the run.
+///
+/// Exit status: 0 clean, 1 unallowlisted findings, 2 usage/run error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "determinism_lint/determinism_lint.hpp"
+#include "util/options.hpp"
+#include "util/require.hpp"
+
+namespace fs = std::filesystem;
+using namespace slipflow;
+using namespace slipflow::tools;
+
+namespace {
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  SLIPFLOW_REQUIRE_MSG(in.good(), "cannot open '" << p.string() << "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".inl" || ext == ".h" ||
+         ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Options opts = util::Options::parse(argc, argv);
+  const std::string root = opts.get("root", std::string("."));
+  const std::string file = opts.get("file", std::string());
+  const std::string json_path = opts.get("json", std::string());
+  const bool show_allowlisted = opts.get("include-allowlisted", false);
+  for (const std::string& k : opts.unused_keys()) {
+    std::fprintf(stderr, "determinism_lint: unknown option --%s\n", k.c_str());
+    return 2;
+  }
+
+  try {
+    std::vector<fs::path> files;
+    if (!file.empty()) {
+      files.emplace_back(file);
+    } else {
+      std::vector<std::string> dirs = opts.positional();
+      if (dirs.empty())
+        dirs = {"src/lbm", "src/sim", "src/transport", "src/balance"};
+      for (const std::string& d : dirs) {
+        const fs::path dir = fs::path(root) / d;
+        SLIPFLOW_REQUIRE_MSG(fs::is_directory(dir),
+                             "no such directory: " << dir.string());
+        for (const auto& entry : fs::recursive_directory_iterator(dir))
+          if (entry.is_regular_file() && lintable(entry.path()))
+            files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+    }
+
+    std::vector<LintFinding> findings;
+    for (const fs::path& p : files) {
+      const std::vector<LintFinding> fs_ = lint_source(
+          fs::path(p).lexically_normal().generic_string(), read_file(p));
+      findings.insert(findings.end(), fs_.begin(), fs_.end());
+    }
+
+    std::size_t allowlisted = 0;
+    for (const LintFinding& f : findings) {
+      if (f.allowlisted) {
+        ++allowlisted;
+        if (show_allowlisted)
+          std::printf("allowlisted %s:%d [%s] %s\n", f.file.c_str(), f.line,
+                      f.rule.c_str(), f.excerpt.c_str());
+        continue;
+      }
+      std::fprintf(stderr, "%s:%d: [%s] %s\n    %s\n", f.file.c_str(), f.line,
+                   f.rule.c_str(), f.message.c_str(), f.excerpt.c_str());
+    }
+
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      SLIPFLOW_REQUIRE_MSG(out.good(),
+                           "cannot write json '" << json_path << "'");
+      out << lint_report_json(findings);
+    }
+
+    const std::size_t violations = count_violations(findings);
+    std::printf(
+        "determinism_lint: %zu file(s), %zu finding(s) "
+        "(%zu allowlisted, %zu violation(s))\n",
+        files.size(), findings.size(), allowlisted, violations);
+    return violations == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "determinism_lint: %s\n", e.what());
+    return 2;
+  }
+}
