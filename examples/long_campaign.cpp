@@ -28,8 +28,10 @@ int main(int argc, char** argv) {
   const index_t ny = opts.get("ny", 16LL);
   const double tol = opts.get("tol", 1e-7);
   const std::string dir = opts.get("dir", std::string("campaign"));
-  for (const auto& k : opts.unused_keys())
-    std::cerr << "warning: unknown option --" << k << "\n";
+  if (const std::string diag = opts.unknown_diagnostic(); !diag.empty()) {
+    std::cerr << diag;
+    return 2;
+  }
 
   std::filesystem::create_directories(dir);
   const std::string ckpt = dir + "/state.ckpt";

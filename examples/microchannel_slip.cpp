@@ -29,8 +29,10 @@ int main(int argc, char** argv) {
   const double air = opts.get("air", 0.03);
   const double coupling = opts.get("coupling", 1.0);
   const std::string out = opts.get("out", std::string("profiles.csv"));
-  for (const auto& k : opts.unused_keys())
-    std::cerr << "warning: unknown option --" << k << "\n";
+  if (const std::string diag = opts.unknown_diagnostic(); !diag.empty()) {
+    std::cerr << diag;
+    return 2;
+  }
 
   // depth chosen to preserve the paper's decay-to-depth ratio at reduced
   // resolution (see DESIGN.md); the paper's own 10:1 width:depth aspect

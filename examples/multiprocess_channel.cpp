@@ -37,7 +37,11 @@ int main(int argc, char** argv) {
   const int kill_rank = static_cast<int>(opts.get("fault-kill-rank", -1LL));
   const long long kill_phase = opts.get("fault-kill-phase", -1LL);
   const bool expect_failure = opts.get("expect-failure", false);
+  // Supervision budgets (transport::LaunchConfig): all settable so sweep
+  // scripts and the service smoke job can tighten or relax them per run.
   const double wall_timeout = opts.get("wall-timeout", 120.0);
+  const double heartbeat_interval = opts.get("heartbeat-interval", 0.2);
+  const double heartbeat_grace = opts.get("heartbeat-grace", 10.0);
   const long long threads = opts.get("threads", 1LL);
   const std::string step = opts.get("step", std::string("overlap"));
   // socket | shm | auto — forwarded to every worker (see sim/worker.cpp)
@@ -46,8 +50,10 @@ int main(int argc, char** argv) {
   const long long shm_ring_bytes = opts.get("shm-ring-bytes", 0LL);
   const std::string worker =
       opts.get("worker", std::string(SLIPFLOW_WORKER_EXE));
-  for (const auto& k : opts.unused_keys())
-    std::cerr << "warning: unknown option --" << k << "\n";
+  if (const std::string diag = opts.unknown_diagnostic(); !diag.empty()) {
+    std::cerr << diag;
+    return 2;
+  }
 
   transport::LaunchConfig lc;
   lc.ranks = ranks;
@@ -68,8 +74,8 @@ int main(int argc, char** argv) {
     lc.worker_command.push_back("--slow-factor=" +
                                 std::to_string(slow_factor));
   }
-  lc.heartbeat_interval = 0.2;
-  lc.heartbeat_grace = 10.0;
+  lc.heartbeat_interval = heartbeat_interval;
+  lc.heartbeat_grace = heartbeat_grace;
   lc.wall_clock_timeout = wall_timeout;
   lc.transport = transport;
   lc.shm_ring_bytes = shm_ring_bytes;

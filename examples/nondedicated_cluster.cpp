@@ -25,8 +25,10 @@ int main(int argc, char** argv) {
   const bool spikes = opts.get("spikes", false);
   const double spike_len = opts.get("spike-len", 2.0);
   const auto seed = static_cast<std::uint64_t>(opts.get("seed", 1LL));
-  for (const auto& k : opts.unused_keys())
-    std::cerr << "warning: unknown option --" << k << "\n";
+  if (const std::string diag = opts.unknown_diagnostic(); !diag.empty()) {
+    std::cerr << diag;
+    return 2;
+  }
 
   std::cout << "virtual cluster: " << nodes << " nodes, " << phases
             << " phases, "

@@ -30,8 +30,10 @@ int main(int argc, char** argv) {
   const index_t nx = opts.get("nx", 32LL);
   const int threads = static_cast<int>(opts.get("threads", 1LL));
   const std::string step = opts.get("step", std::string("overlap"));
-  for (const auto& k : opts.unused_keys())
-    std::cerr << "warning: unknown option --" << k << "\n";
+  if (const std::string diag = opts.unknown_diagnostic(); !diag.empty()) {
+    std::cerr << diag;
+    return 2;
+  }
 
   sim::RunnerConfig cfg;
   cfg.threads = threads;

@@ -27,8 +27,10 @@ int main(int argc, char** argv) {
   const int stripes = static_cast<int>(opts.get("stripes", 4LL));
   const int steps = static_cast<int>(opts.get("steps", 1500LL));
   const std::string vtk = opts.get("vtk", std::string("striped.vtk"));
-  for (const auto& k : opts.unused_keys())
-    std::cerr << "warning: unknown option --" << k << "\n";
+  if (const std::string diag = opts.unknown_diagnostic(); !diag.empty()) {
+    std::cerr << diag;
+    return 2;
+  }
 
   const double period = static_cast<double>(nx) / stripes;
   FluidParams fluid = FluidParams::microchannel_defaults();

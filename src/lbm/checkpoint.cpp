@@ -71,7 +71,12 @@ CheckpointInfo read_checkpoint_info(const std::string& path) {
   SLIPFLOW_REQUIRE_MSG(in.good(), "cannot open checkpoint " << path);
   const Header h = read_header(in, path);
   return CheckpointInfo{Extents{h.nx, h.ny, h.nz},
-                        static_cast<std::size_t>(h.components), h.phase};
+                        static_cast<std::size_t>(h.components), h.phase,
+                        h.plane_doubles};
+}
+
+std::size_t expected_checkpoint_bytes(const CheckpointInfo& info) {
+  return checkpoint_plane_offset(info.plane_doubles, info.global.nx);
 }
 
 void begin_checkpoint(const Extents& global, std::size_t components,

@@ -52,10 +52,17 @@ struct CheckpointInfo {
   Extents global;
   std::size_t components = 0;
   long long phase = 0;  ///< phases completed when the checkpoint was taken
+  index_t plane_doubles = 0;  ///< packed doubles per global yz-plane
 };
 
 /// Read and validate a checkpoint header.
 CheckpointInfo read_checkpoint_info(const std::string& path);
+
+/// Exact on-disk size of a complete checkpoint with this header. The
+/// campaign server validates candidate recovery files against it: a file
+/// whose header parses but whose size is short was torn mid-write and
+/// must not seed a restart.
+std::size_t expected_checkpoint_bytes(const CheckpointInfo& info);
 
 /// Write a checkpoint of a full-domain slab (sequential simulation).
 void save_checkpoint(const Slab& slab, long long phase,

@@ -201,4 +201,20 @@ void write_chrome_trace(const MetricsRegistry& reg, std::ostream& os,
   os << "\n]}\n";
 }
 
+std::size_t write_chrome_trace_events(const MetricsRegistry& reg,
+                                      std::ostream& os, int rank,
+                                      std::size_t first_span) {
+  const std::vector<TraceSpan>& spans = reg.spans(rank);
+  for (std::size_t i = first_span; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    os << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << rank << ",\"name\":"
+       << util::json_string(s.name) << ",\"cat\":\"stage\",\"ts\":"
+       << util::json_number(s.begin * 1e6) << ",\"dur\":"
+       << util::json_number((s.end - s.begin) * 1e6);
+    if (s.phase >= 0) os << ",\"args\":{\"phase\":" << s.phase << "}";
+    os << "}\n";
+  }
+  return spans.size();
+}
+
 }  // namespace slipflow::obs

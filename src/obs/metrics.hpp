@@ -116,4 +116,16 @@ class MetricsRegistry {
 void write_chrome_trace(const MetricsRegistry& reg, std::ostream& os,
                         const std::string& process_name = "slipflow");
 
+/// Incremental Chrome-trace export: emit one "ph":"X" event per line for
+/// rank `rank`'s spans in [first_span, spans.size()), WITHOUT the
+/// enclosing {"traceEvents": ...} wrapper, and return the new cursor.
+/// A consumer that concatenates successive fragments (joining lines with
+/// commas inside a trailing "[...]" wrapper) reconstructs the same events
+/// write_chrome_trace would have emitted at the end — this is what lets
+/// the campaign server stream a running job's trace to the client
+/// fragment by fragment instead of at job end.
+std::size_t write_chrome_trace_events(const MetricsRegistry& reg,
+                                      std::ostream& os, int rank,
+                                      std::size_t first_span);
+
 }  // namespace slipflow::obs

@@ -1,0 +1,105 @@
+#include "serve/client.hpp"
+
+#include "serve/protocol.hpp"
+
+namespace slipflow::serve {
+
+using util::JsonValue;
+
+namespace {
+
+JsonValue parse_response(const std::string& line) {
+  const JsonValue v = util::json_parse(line);
+  if (const JsonValue* err = v.find("error"))
+    throw serve_error("server: " + err->as_string());
+  return v;
+}
+
+/// Read event lines until {"event":"done"}; returns the final record.
+JsonValue drain_events(LineChannel& ch,
+                       const std::function<void(const JsonValue&)>& on_event) {
+  std::string line;
+  while (ch.read_line(line)) {
+    const JsonValue ev = parse_response(line);
+    if (ev.string_or("event", "") == "done") {
+      const JsonValue* rec = ev.find("record");
+      if (rec == nullptr) throw serve_error("done event without record");
+      return *rec;
+    }
+    if (on_event) on_event(ev);
+  }
+  throw serve_error("server closed the stream before the job finished");
+}
+
+}  // namespace
+
+JsonValue Client::roundtrip(const JsonValue& request) {
+  LineChannel ch(unix_connect(socket_path_, connect_timeout_));
+  ch.write_line(request.dump());
+  std::string line;
+  if (!ch.read_line(line)) throw serve_error("server closed the connection");
+  return parse_response(line);
+}
+
+long long Client::submit(const std::string& tenant, const JobSpec& spec) {
+  JsonValue::Object req;
+  req["cmd"] = JsonValue("submit");
+  req["tenant"] = JsonValue(tenant);
+  req["spec"] = spec.to_json();
+  const JsonValue resp = roundtrip(JsonValue(std::move(req)));
+  return resp.int_or("job", -1);
+}
+
+JsonValue Client::wait(long long id,
+                       const std::function<void(const JsonValue&)>& on_event) {
+  LineChannel ch(unix_connect(socket_path_, connect_timeout_));
+  JsonValue::Object req;
+  req["cmd"] = JsonValue("wait");
+  req["job"] = JsonValue(id);
+  ch.write_line(JsonValue(std::move(req)).dump());
+  std::string line;
+  if (!ch.read_line(line)) throw serve_error("server closed the connection");
+  parse_response(line);  // the ack; throws on {"ok":false}
+  return drain_events(ch, on_event);
+}
+
+JsonValue Client::run(const std::string& tenant, const JobSpec& spec,
+                      long long* id_out,
+                      const std::function<void(const JsonValue&)>& on_event) {
+  LineChannel ch(unix_connect(socket_path_, connect_timeout_));
+  JsonValue::Object req;
+  req["cmd"] = JsonValue("submit");
+  req["tenant"] = JsonValue(tenant);
+  req["spec"] = spec.to_json();
+  req["wait"] = JsonValue(true);
+  ch.write_line(JsonValue(std::move(req)).dump());
+  std::string line;
+  if (!ch.read_line(line)) throw serve_error("server closed the connection");
+  const JsonValue ack = parse_response(line);
+  if (id_out != nullptr) *id_out = ack.int_or("job", -1);
+  return drain_events(ch, on_event);
+}
+
+JsonValue Client::status(long long id) {
+  JsonValue::Object req;
+  req["cmd"] = JsonValue("status");
+  req["job"] = JsonValue(id);
+  const JsonValue resp = roundtrip(JsonValue(std::move(req)));
+  const JsonValue* rec = resp.find("record");
+  if (rec == nullptr) throw serve_error("status response without record");
+  return *rec;
+}
+
+JsonValue Client::stats() {
+  JsonValue::Object req;
+  req["cmd"] = JsonValue("stats");
+  return roundtrip(JsonValue(std::move(req)));
+}
+
+void Client::shutdown() {
+  JsonValue::Object req;
+  req["cmd"] = JsonValue("shutdown");
+  roundtrip(JsonValue(std::move(req)));
+}
+
+}  // namespace slipflow::serve

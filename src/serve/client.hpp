@@ -1,0 +1,52 @@
+#pragma once
+/// \file client.hpp
+/// Client side of the campaign-server protocol, used by the
+/// slipflow_submit CLI and the end-to-end tests. Each call opens a
+/// fresh connection — the protocol is one request per connection, with
+/// streaming responses for the waiting forms — so a client object
+/// carries no connection state and is trivially safe to share across
+/// threads submitting different jobs.
+
+#include <functional>
+#include <string>
+
+#include "serve/job_spec.hpp"
+#include "util/json.hpp"
+
+namespace slipflow::serve {
+
+class Client {
+ public:
+  explicit Client(std::string socket_path, double connect_timeout = 5.0)
+      : socket_path_(std::move(socket_path)),
+        connect_timeout_(connect_timeout) {}
+
+  /// Submit without waiting; returns the job id. Throws serve_error on
+  /// admission rejects (carrying the server's diagnostic).
+  long long submit(const std::string& tenant, const JobSpec& spec);
+
+  /// Block until the job is terminal, invoking `on_event` (when set)
+  /// for every streamed event line — progress, fragments, failures,
+  /// recoveries. Returns the final job record.
+  util::JsonValue wait(long long id,
+                       const std::function<void(const util::JsonValue&)>&
+                           on_event = nullptr);
+
+  /// submit + wait on a single connection.
+  util::JsonValue run(const std::string& tenant, const JobSpec& spec,
+                      long long* id_out = nullptr,
+                      const std::function<void(const util::JsonValue&)>&
+                          on_event = nullptr);
+
+  util::JsonValue status(long long id);
+  util::JsonValue stats();
+  void shutdown();
+
+ private:
+  util::JsonValue roundtrip(const util::JsonValue& request);
+
+  std::string socket_path_;
+  double connect_timeout_;
+};
+
+}  // namespace slipflow::serve

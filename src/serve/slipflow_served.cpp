@@ -1,0 +1,72 @@
+/// The campaign-server daemon: accepts JSON job specs on a Unix-domain
+/// control socket and runs them as isolated multi-process simulations
+/// over a shared pool of worker slots (see serve/server.hpp).
+///
+///   slipflow_served --socket=/tmp/slipflow.sock --work-dir=/tmp/campaign
+///       [--worker=/path/to/slipflow_worker] [--slots=8] [--max-ranks=8]
+///       [--max-queued=16] [--max-attempts=3]
+///
+/// Runs until SIGINT/SIGTERM or a client's {"cmd":"shutdown"}; queued
+/// jobs are cancelled, running jobs finish (wall-clock bounded).
+
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "util/options.hpp"
+
+#ifndef SLIPFLOW_WORKER_EXE
+#error "SLIPFLOW_WORKER_EXE must point at the slipflow_worker binary"
+#endif
+
+using namespace slipflow;
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+void on_signal(int) { g_signalled = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = util::Options::parse(argc, argv);
+  serve::CampaignServer::Config cfg;
+  cfg.socket_path = opts.get("socket", std::string{});
+  cfg.work_dir = opts.get("work-dir", std::string{});
+  cfg.worker_exe = opts.get("worker", std::string(SLIPFLOW_WORKER_EXE));
+  cfg.policy.total_slots = static_cast<int>(opts.get("slots", 8LL));
+  cfg.policy.max_ranks_per_job =
+      static_cast<int>(opts.get("max-ranks", 8LL));
+  cfg.policy.max_queued = static_cast<int>(opts.get("max-queued", 16LL));
+  cfg.policy.max_attempts = static_cast<int>(opts.get("max-attempts", 3LL));
+  if (const std::string diag = opts.unknown_diagnostic(); !diag.empty()) {
+    std::cerr << diag;
+    return 2;
+  }
+  if (cfg.socket_path.empty() || cfg.work_dir.empty()) {
+    std::cerr << "slipflow_served needs --socket=<path> and "
+                 "--work-dir=<dir>\n";
+    return 2;
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  try {
+    serve::CampaignServer server(cfg);
+    server.start();
+    std::cout << "slipflow_served listening on " << cfg.socket_path << " ("
+              << cfg.policy.total_slots << " slots, worker "
+              << cfg.worker_exe << ")" << std::endl;
+    while (g_signalled == 0 && !server.shutdown_requested())
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::cout << "slipflow_served shutting down" << std::endl;
+    server.stop();
+  } catch (const std::exception& e) {
+    std::cerr << "slipflow_served: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

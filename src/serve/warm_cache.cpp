@@ -1,0 +1,76 @@
+#include "serve/warm_cache.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "lbm/checkpoint.hpp"
+#include "serve/protocol.hpp"
+
+namespace slipflow::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Header parses, stored phase matches, and the file holds exactly the
+/// bytes a complete checkpoint of that header must hold.
+bool valid_entry(const std::string& path, long long warm_phases) {
+  try {
+    const lbm::CheckpointInfo info = lbm::read_checkpoint_info(path);
+    if (info.phase != warm_phases) return false;
+    std::error_code ec;
+    const auto size = fs::file_size(path, ec);
+    return !ec && size == lbm::expected_checkpoint_bytes(info);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+WarmCache::WarmCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) throw serve_error("cannot create warm cache dir " + dir_);
+}
+
+std::string WarmCache::hash_key(const std::string& canonical_key) {
+  // FNV-1a 64-bit.
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : canonical_key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string WarmCache::entry_path(const std::string& canonical_key) const {
+  return dir_ + "/warm_" + hash_key(canonical_key) + ".ckpt";
+}
+
+std::string WarmCache::lookup(const std::string& canonical_key,
+                              long long warm_phases) const {
+  const std::string path = entry_path(canonical_key);
+  return valid_entry(path, warm_phases) ? path : std::string{};
+}
+
+bool WarmCache::promote(const std::string& canonical_key,
+                        long long warm_phases,
+                        const std::string& checkpoint_file) {
+  if (!valid_entry(checkpoint_file, warm_phases)) return false;
+  const std::string path = entry_path(canonical_key);
+  if (valid_entry(path, warm_phases)) {
+    // Entry already present: keep it, discard the duplicate. The two
+    // states are physically identical (same key → same physics).
+    std::remove(checkpoint_file.c_str());
+    return true;
+  }
+  return std::rename(checkpoint_file.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace slipflow::serve

@@ -1,0 +1,55 @@
+#pragma once
+/// \file warm_cache.hpp
+/// Warm-state cache of the campaign server: equilibrated checkpoints
+/// keyed on the physics that produced them.
+///
+/// Parameter sweeps repeat the same expensive equilibration before the
+/// phases that actually differ. The cache stores the checkpoint taken
+/// at `warm_phases` under a key derived from (geometry, component
+/// count, physical parameters, warm phase count) — see
+/// JobSpec::warm_key — so a repeated spec seeds from the cached state
+/// and runs only the remainder. Because checkpoints are restorable on
+/// any decomposition and the physics is invariant to ranks/transport/
+/// policy, a cache entry produced by one configuration warm-starts any
+/// other with the same physics.
+///
+/// Entries are published by rename (atomic within the cache directory)
+/// and validated on both promote and lookup against the checkpoint
+/// header and exact expected file size, so a torn or foreign file can
+/// never seed a job.
+
+#include <string>
+
+namespace slipflow::serve {
+
+class WarmCache {
+ public:
+  /// `dir` is created if absent.
+  explicit WarmCache(std::string dir);
+
+  /// FNV-1a 64-bit hash of the canonical key material, as fixed-width
+  /// hex — the cache entry's filename stem.
+  static std::string hash_key(const std::string& canonical_key);
+
+  /// Path of a valid cached checkpoint for this key holding exactly
+  /// `warm_phases` completed phases, or "" on miss (absent, torn, or
+  /// phase-mismatched entries all miss).
+  std::string lookup(const std::string& canonical_key,
+                     long long warm_phases) const;
+
+  /// Publish `checkpoint_file` (a complete checkpoint produced by a
+  /// finished job) as the entry for this key. The file is renamed into
+  /// the cache. Invalid or torn candidates are rejected (returns
+  /// false); an existing valid entry is kept (the states are physically
+  /// identical by construction).
+  bool promote(const std::string& canonical_key, long long warm_phases,
+               const std::string& checkpoint_file);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string entry_path(const std::string& canonical_key) const;
+  std::string dir_;
+};
+
+}  // namespace slipflow::serve

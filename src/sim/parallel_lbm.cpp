@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
 #include "lbm/checkpoint.hpp"
+#include "lbm/observables.hpp"
 #include "lbm/stepper.hpp"
 #include "lbm/vtk.hpp"
 #include "obs/async_writer.hpp"
@@ -517,10 +519,20 @@ void ParallelLbm::write_outputs() {
   const std::string tag = std::to_string(phases_done_);
   if (ckpt) {
     const std::string path = out.checkpoint_prefix + "." + tag + ".ckpt";
-    if (out.async)
+    if (out.async) {
       save_checkpoint_async(path, phases_done_);
-    else
+    } else if (out.atomic_checkpoints) {
+      // save_checkpoint's final barrier guarantees every rank's planes
+      // are on disk before rank 0 publishes the file under its real
+      // name; readers (the server's recovery scan) only ever see
+      // complete checkpoints.
+      save_checkpoint(path + ".tmp", phases_done_);
+      if (comm_.rank() == 0 &&
+          std::rename((path + ".tmp").c_str(), path.c_str()) != 0)
+        throw transport::comm_error("cannot publish checkpoint " + path);
+    } else {
       save_checkpoint(path, phases_done_);
+    }
   }
   if (vtk) {
     const std::string path = out.vtk_prefix + "." + tag + ".r" +
@@ -754,6 +766,20 @@ std::vector<double> gather_profile(
 }
 }  // namespace
 
+void ParallelLbm::refresh_observables() {
+  SLIPFLOW_REQUIRE_MSG(initialized_, "call initialize() before refresh");
+  // Same exchange + kernel the stepper runs, so on an unmigrated slab
+  // every ueq / total-density / velocity value is recomputed to the
+  // exact bytes it already holds; on a freshly migrated (or restored)
+  // slab the zeroed mixture fields are rebuilt from the migrated state.
+  ensure_plan();
+  halo_->exchange_density(*slab_);
+  if (cfg_.kernels == lbm::KernelPath::plan)
+    lbm::compute_forces_and_velocity_plan(*slab_);
+  else
+    lbm::compute_forces_and_velocity(*slab_);
+}
+
 std::vector<double> ParallelLbm::gather_velocity_profile_y(lbm::index_t gx,
                                                            lbm::index_t z) {
   return gather_profile(comm_, *slab_, gx, [&] {
@@ -782,6 +808,26 @@ std::vector<double> ParallelLbm::global_masses() {
   return comm_.allreduce_sum(std::span<const double>(mine));
 }
 
+std::vector<double> ParallelLbm::global_masses_ordered() {
+  const std::size_t comps = slab_->num_components();
+  const std::size_t nx = static_cast<std::size_t>(cfg_.global.nx);
+  // One slot per (global plane, component); only the owner writes it, so
+  // the element-wise allreduce adds exact zeros and the slot value is
+  // independent of the reduction's rank order.
+  std::vector<double> per_plane(nx * comps, 0.0);
+  for (lbm::index_t gx = slab_->x_begin(); gx < slab_->x_end(); ++gx)
+    for (std::size_t c = 0; c < comps; ++c)
+      per_plane[static_cast<std::size_t>(gx) * comps + c] =
+          lbm::plane_mass(*slab_, c, gx) *
+          cfg_.fluid.components[c].molecular_mass;
+  const std::vector<double> all =
+      comm_.allreduce_sum(std::span<const double>(per_plane));
+  std::vector<double> masses(comps, 0.0);
+  for (std::size_t gx = 0; gx < nx; ++gx)
+    for (std::size_t c = 0; c < comps; ++c) masses[c] += all[gx * comps + c];
+  return masses;
+}
+
 void ParallelLbm::save_checkpoint(const std::string& path, long long phase) {
   SLIPFLOW_REQUIRE_MSG(initialized_, "nothing to checkpoint yet");
   if (comm_.rank() == 0) {
@@ -797,6 +843,12 @@ long long ParallelLbm::load_checkpoint(const std::string& path) {
   const long long phase = lbm::load_checkpoint_planes(*slab_, path);
   comm_.barrier();
   initialized_ = true;
+  // Adopt the stored phase (matching sequential Simulation): subsequent
+  // run() calls continue the absolute numbering, so heartbeat phases and
+  // periodic-output file names stay consistent across a resume — which
+  // is what lets the campaign server's recovery pick the newest
+  // checkpoint by file name across attempts.
+  phases_done_ = phase;
   return phase;
 }
 

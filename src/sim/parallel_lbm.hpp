@@ -62,6 +62,12 @@ struct OutputOptions {
   std::string vtk_prefix;
   /// false = write inline (synchronous), for contrast and debugging.
   bool async = true;
+  /// Tear-proof periodic checkpoints (sync path only): planes go to
+  /// <path>.tmp and rank 0 renames after the completion barrier, so a
+  /// crash mid-write can never leave a full-sized file of half-written
+  /// planes under the final name. The campaign server requires this for
+  /// the checkpoints its crash recovery restarts from.
+  bool atomic_checkpoints = false;
 };
 
 struct RunnerConfig {
@@ -145,6 +151,18 @@ class ParallelLbm {
   /// Gather the per-rank stats on every rank (allgather).
   std::vector<RankStats> gather_stats();
 
+  /// Recompute the mixture observables (total density + macroscopic
+  /// velocity) from the migrated state: density-halo exchange + the
+  /// force/velocity kernel. Collective. Plane migration moves f, n and
+  /// ueq but reallocates the slab, so the u_macro field a migration
+  /// leaves behind is zeroed; a run whose final act was a remap (or a
+  /// restore that stepped zero phases) would otherwise report zero
+  /// velocity profiles. The recompute is a per-cell function of state
+  /// that IS migration-invariant, and on an unmigrated slab it is
+  /// byte-idempotent (same inputs, same kernel, same order) — call it
+  /// before collecting profile observables.
+  void refresh_observables();
+
   /// Gather a full-domain y-profile on rank 0 (empty on other ranks).
   /// All ranks must call these collectively.
   std::vector<double> gather_velocity_profile_y(lbm::index_t gx,
@@ -159,6 +177,16 @@ class ParallelLbm {
   /// Total mass of every component in one vector collective; element c
   /// is byte-identical to global_mass(c).
   std::vector<double> global_masses();
+
+  /// Component masses folded in GLOBAL PLANE ORDER instead of rank
+  /// order: per-plane sums (each plane has exactly one owner, so the
+  /// element-wise reduction adds exact zeros) combined x = 0..nx-1.
+  /// Byte-identical across rank counts, transports and migration
+  /// histories — the mass observable of the served "physics" set, where
+  /// a crash-recovered or warm-started job must reproduce a
+  /// straight-through run exactly even though its migration history
+  /// differs. global_masses() keeps the historical rank-ordered fold.
+  std::vector<double> global_masses_ordered();
 
   /// Collective checkpoint: rank 0 creates the file, then every rank
   /// writes its own plane range. Because the format is per-plane, the

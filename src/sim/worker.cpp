@@ -1,5 +1,6 @@
 #include "sim/worker.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -13,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "transport/shm_comm.hpp"
 #include "transport/socket_comm.hpp"
+#include "util/json.hpp"
 #include "util/options.hpp"
 
 namespace slipflow::sim {
@@ -26,21 +28,76 @@ std::string hexd(double v) {
   return buf;
 }
 
+/// Write `content` under `path` tear-proof: a temp file in the same
+/// directory, then rename. Consumers that poll the directory (the
+/// campaign server's streaming loop) only ever see complete fragments.
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw transport::comm_error("cannot write " + tmp);
+    f << content;
+    if (!f.good()) throw transport::comm_error("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw transport::comm_error("cannot publish " + path);
+}
+
+/// One incremental result fragment at absolute phase `phase`: the
+/// component masses (a cheap collective) as obs_<phase>.json, and this
+/// rank-0's trace spans recorded since the previous fragment as
+/// newline-delimited Chrome trace events in trace_<phase>.json.
+/// Collective — every rank must call it; only rank 0 writes.
+void write_stream_fragment(ParallelLbm& run, transport::Communicator& comm,
+                           long long phase, const std::string& dir,
+                           std::size_t& trace_cursor) {
+  const std::vector<double> masses = run.global_masses_ordered();
+  if (comm.rank() != 0) return;
+  std::ostringstream obs;
+  obs << "{\"phase\":" << phase << ",\"masses\":[";
+  for (std::size_t c = 0; c < masses.size(); ++c) {
+    if (c != 0) obs << ',';
+    obs << util::json_number(masses[c]);
+  }
+  obs << "]}\n";
+  write_file_atomic(dir + "/obs_" + std::to_string(phase) + ".json",
+                    obs.str());
+
+  std::ostringstream trace;
+  trace_cursor = obs::write_chrome_trace_events(run.profiler().registry(),
+                                                trace, 0, trace_cursor);
+  write_file_atomic(dir + "/trace_" + std::to_string(phase) + ".json",
+                    trace.str());
+}
+
 }  // namespace
 
 std::string collect_observables(ParallelLbm& run,
                                 transport::Communicator& comm,
-                                const lbm::Extents& global) {
-  const std::vector<double> masses = run.global_masses();
+                                const lbm::Extents& global,
+                                ObservableSet set) {
+  // The physics set's masses use the plane-ordered fold: byte-identical
+  // across decompositions and migration histories, which is what lets a
+  // recovered or warm-started job reproduce a straight-through run
+  // exactly. The full set keeps the historical rank-ordered fold.
+  // Mixture velocity is rebuilt first: a migration reallocates the slab
+  // and zeroes it, so a run whose final phase triggered a remap would
+  // otherwise report zero profiles (refresh is byte-idempotent when no
+  // migration happened).
+  run.refresh_observables();
+  const std::vector<double> masses = set == ObservableSet::physics
+                                         ? run.global_masses_ordered()
+                                         : run.global_masses();
   const std::vector<RankStats> stats = run.gather_stats();
 
   std::ostringstream os;
   if (comm.rank() == 0) {
     for (std::size_t c = 0; c < masses.size(); ++c)
       os << "mass " << c << " " << hexd(masses[c]) << "\n";
-    for (const RankStats& s : stats)
-      os << "rank " << s.rank << " planes " << s.planes << " sent "
-         << s.planes_sent << " received " << s.planes_received << "\n";
+    if (set == ObservableSet::full)
+      for (const RankStats& s : stats)
+        os << "rank " << s.rank << " planes " << s.planes << " sent "
+           << s.planes_sent << " received " << s.planes_received << "\n";
   }
   // Mid-channel y-profiles of every global plane: covers every rank's
   // slab wherever the remapper left the boundaries.
@@ -96,7 +153,12 @@ int worker_main(int argc, const char* const* argv) {
   RunnerConfig cfg;
   cfg.global = lbm::Extents{opts.get("nx", 16LL), opts.get("ny", 6LL),
                             opts.get("nz", 4LL)};
-  cfg.fluid = lbm::FluidParams::microchannel_defaults();
+  // The paper's two-component microchannel model; the physical knobs are
+  // exposed so campaign sweeps (slipflow_submit --sweep) can scan them.
+  cfg.fluid = lbm::FluidParams::microchannel_defaults(
+      opts.get("wall-accel", 0.2), opts.get("wall-decay", 2.5),
+      opts.get("air-fraction", 0.03), opts.get("coupling-g", 1.0),
+      opts.get("gravity", 2e-5));
   cfg.policy = opts.get("policy", std::string("filtered"));
   cfg.remap_interval = static_cast<int>(opts.get("remap-interval", 5LL));
   cfg.balance.window = static_cast<int>(opts.get("window", 3LL));
@@ -134,7 +196,11 @@ int worker_main(int argc, const char* const* argv) {
     lbm::set_kernel_backend(*kb);
   }
 
-  const int phases = static_cast<int>(opts.get("phases", 40LL));
+  // --phases is the ABSOLUTE phase target: a fresh run executes that
+  // many phases, a run resumed from --load-checkpoint executes only the
+  // remainder. That is what makes a crash-recovered or warm-started job
+  // finish at the same physical state as a straight-through one.
+  const long long phases = opts.get("phases", 40LL);
   const int slow_rank = static_cast<int>(opts.get("slow-rank", -1LL));
   const double slow_factor = opts.get("slow-factor", 0.0);
   if (slow_rank >= 0 && slow_factor > 0.0) {
@@ -181,10 +247,40 @@ int worker_main(int argc, const char* const* argv) {
     return 2;
   }
 
-  const std::vector<std::string> unused = opts.unused_keys();
-  if (!unused.empty()) {
-    for (const std::string& k : unused)
-      std::fprintf(stderr, "rank %d: unknown option --%s\n", rank, k.c_str());
+  // --- job-spec mode (campaign server; see src/serve) ---
+  // Resume/seed from a checkpoint, publish an equilibrated warm state,
+  // stream incremental result fragments, and pick the observable set.
+  const std::string load_ck = opts.get("load-checkpoint", std::string{});
+  const long long warm_phases = opts.get("warm-phases", 0LL);
+  const std::string warm_out = opts.get("warm-checkpoint-out", std::string{});
+  const long long stream_every = opts.get("stream-every", 0LL);
+  const std::string stream_dir = opts.get("stream-dir", std::string{});
+  cfg.output.atomic_checkpoints = opts.get("checkpoint-atomic", false);
+  const std::string obs_set_name =
+      opts.get("observables", std::string("full"));
+  ObservableSet obs_set = ObservableSet::full;
+  if (obs_set_name == "physics") {
+    obs_set = ObservableSet::physics;
+  } else if (obs_set_name != "full") {
+    std::fprintf(stderr, "rank %d: unknown --observables=%s\n", rank,
+                 obs_set_name.c_str());
+    return 2;
+  }
+  if (!warm_out.empty() && (warm_phases <= 0 || warm_phases > phases)) {
+    std::fprintf(stderr,
+                 "rank %d: --warm-checkpoint-out needs 0 < --warm-phases "
+                 "<= --phases\n",
+                 rank);
+    return 2;
+  }
+  if (stream_every > 0 && stream_dir.empty()) {
+    std::fprintf(stderr, "rank %d: --stream-every needs --stream-dir\n",
+                 rank);
+    return 2;
+  }
+
+  if (const std::string diag = opts.unknown_diagnostic(); !diag.empty()) {
+    std::fprintf(stderr, "rank %d: %s", rank, diag.c_str());
     return 2;
   }
 
@@ -225,10 +321,44 @@ int worker_main(int argc, const char* const* argv) {
     }
 
     ParallelLbm run(cfg, *comm);
-    run.initialize_uniform();
-    run.run(phases);
+    long long start_phase = 0;
+    if (!load_ck.empty())
+      start_phase = run.load_checkpoint(load_ck);
+    else
+      run.initialize_uniform();
+
+    // Chunked stepping toward the absolute target: segment boundaries
+    // fall on the warm-checkpoint phase and on stream-fragment
+    // multiples. Chunking run() never changes the physics (each phase
+    // is self-contained), so a streamed job computes the same state as
+    // an unstreamed one.
+    long long at = start_phase;
+    std::size_t trace_cursor = 0;
+    while (at < phases) {
+      long long next = phases;
+      if (!warm_out.empty() && at < warm_phases && warm_phases < next)
+        next = warm_phases;
+      if (stream_every > 0)
+        next = std::min(next, (at / stream_every + 1) * stream_every);
+      run.run(static_cast<int>(next - at));
+      at = next;
+      if (!warm_out.empty() && at == warm_phases) {
+        // Published atomically: save_checkpoint's final barrier puts
+        // every rank's planes on disk before rank 0 renames, so the
+        // warm cache can never promote a torn equilibration state.
+        run.save_checkpoint(warm_out + ".tmp", at);
+        if (comm->rank() == 0 &&
+            std::rename((warm_out + ".tmp").c_str(), warm_out.c_str()) != 0)
+          throw transport::comm_error("cannot publish " + warm_out);
+      }
+      if (stream_every > 0 && at % stream_every == 0 && at < phases)
+        write_stream_fragment(run, *comm, at, stream_dir, trace_cursor);
+    }
+    // Final fragment: flushes the last segment's trace spans.
+    if (stream_every > 0)
+      write_stream_fragment(run, *comm, at, stream_dir, trace_cursor);
     const std::string observables =
-        collect_observables(run, *comm, cfg.global);
+        collect_observables(run, *comm, cfg.global, obs_set);
     if (socket_comm != nullptr) socket_comm->publish_stats();
     if (shm_comm != nullptr) shm_comm->publish_stats();
 

@@ -18,18 +18,33 @@
 
 namespace slipflow::sim {
 
+/// Which observable lines collect_observables emits.
+enum class ObservableSet {
+  /// Everything: masses, per-rank plane ownership / migration counts,
+  /// and the mid-channel profiles.
+  full,
+  /// Physics only: masses and profiles, NO per-rank ownership lines.
+  /// This is the served-job default: physics is bit-identical across
+  /// rank counts, transports, kernel backends and checkpoint resumes,
+  /// while plane ownership is a scheduling detail that legitimately
+  /// differs between a straight-through run and a crash-recovered one.
+  physics,
+};
+
 /// Collect the run's physical + migration observables as deterministic
 /// text: component masses, per-rank plane ownership and migration
-/// counts, and the mid-channel velocity / water-density y-profiles of
-/// every global plane. All floating-point values print as hexfloats, so
-/// equal strings mean byte-identical doubles. Timing values are
-/// deliberately excluded — they differ between backends by construction.
+/// counts (ObservableSet::full only), and the mid-channel velocity /
+/// water-density y-profiles of every global plane. All floating-point
+/// values print as hexfloats, so equal strings mean byte-identical
+/// doubles. Timing values are deliberately excluded — they differ
+/// between backends by construction.
 ///
 /// Collective: every rank must call it; the full string materializes on
 /// rank 0, other ranks return "".
 std::string collect_observables(ParallelLbm& run,
                                 transport::Communicator& comm,
-                                const lbm::Extents& global);
+                                const lbm::Extents& global,
+                                ObservableSet set = ObservableSet::full);
 
 /// CLI entry point of slipflow_worker (see the flag list in worker.cpp).
 /// Returns 0 on success; prints the failure to stderr and returns

@@ -215,7 +215,9 @@ LaunchResult launch_workers(const LaunchConfig& cfg) {
             double phase = 0.0;
             std::memcpy(&phase, c.buf.data() + off + kFrameHeaderBytes,
                         sizeof(double));
-            w.last_phase = static_cast<long long>(phase);
+            const long long p = static_cast<long long>(phase);
+            if (p != w.last_phase && cfg.on_progress) cfg.on_progress(h.src, p);
+            w.last_phase = p;
           }
         }
         off += need;
@@ -245,6 +247,7 @@ LaunchResult launch_workers(const LaunchConfig& cfg) {
   while (running > 0 && !failed) {
     pump_heartbeats();
     drain_stderr();
+    if (cfg.on_tick) cfg.on_tick();
 
     // Reap exits. When several workers die in one tick, blame the one
     // that was signalled — the injected fault — not the peers that then

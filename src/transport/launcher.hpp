@@ -17,6 +17,7 @@
 /// On any failure every surviving worker is SIGKILLed before returning,
 /// so a failed launch never leaks processes.
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -51,6 +52,15 @@ struct LaunchConfig {
   double wall_clock_timeout = 120.0;
   /// Per-rank extra worker arguments (fault injection etc.).
   std::map<int, std::vector<std::string>> extra_args;
+  /// Called from the supervision loop whenever a worker's reported
+  /// heartbeat phase advances. Runs on the launching thread, so it may
+  /// not block; the campaign server uses it to stream job progress to
+  /// the submitting client while launch_workers is still running.
+  std::function<void(int rank, long long phase)> on_progress;
+  /// Called once per supervision tick (every ~50 ms) while the run is
+  /// alive — the hook for polling job side channels (result fragment
+  /// directories) the launcher itself knows nothing about.
+  std::function<void()> on_tick;
 };
 
 struct LaunchResult {

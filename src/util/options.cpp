@@ -81,4 +81,26 @@ std::vector<std::string> Options::unused_keys() const {
   return out;
 }
 
+std::vector<std::string> Options::known_keys() const {
+  std::vector<std::string> out;
+  out.reserve(touched_.size());
+  for (const auto& [k, used] : touched_) {
+    (void)used;
+    out.push_back(k);  // touched_ is ordered, so this is already sorted
+  }
+  return out;
+}
+
+std::string Options::unknown_diagnostic() const {
+  const std::vector<std::string> unknown = unused_keys();
+  if (unknown.empty()) return {};
+  std::string out;
+  for (const std::string& k : unknown)
+    out += "unknown option --" + k + "\n";
+  out += "valid flags:";
+  for (const std::string& k : known_keys()) out += " --" + k;
+  out += "\n";
+  return out;
+}
+
 }  // namespace slipflow::util

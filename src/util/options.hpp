@@ -34,6 +34,18 @@ class Options {
   /// get()/has() calls and fail if non-empty.
   std::vector<std::string> unused_keys() const;
 
+  /// Every key the program queried via get()/has() so far, sorted —
+  /// i.e. the program's valid flag surface.
+  std::vector<std::string> known_keys() const;
+
+  /// Empty when every supplied flag was queried; otherwise a ready-made
+  /// diagnostic naming each unknown flag and listing the valid ones.
+  /// Call after all get()/has() calls:
+  ///   if (const std::string d = opts.unknown_diagnostic(); !d.empty()) {
+  ///     std::cerr << d; return 2;
+  ///   }
+  std::string unknown_diagnostic() const;
+
  private:
   std::map<std::string, std::string> kv_;
   mutable std::map<std::string, bool> touched_;

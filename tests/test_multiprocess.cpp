@@ -9,6 +9,7 @@
 // profiles — cannot depend on which transport carried the messages.
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -234,4 +235,28 @@ TEST(MultiProcess, WorkerRejectsUnknownFlags) {
       << res.diagnostic;
   EXPECT_NE(res.diagnostic.find("no-such-flag"), std::string::npos)
       << res.diagnostic;
+  // The diagnostic must teach, not just scold: it lists the worker's
+  // actual flag surface so sweep-script typos are one edit from fixed.
+  EXPECT_NE(res.diagnostic.find("valid flags"), std::string::npos)
+      << res.diagnostic;
+  EXPECT_NE(res.diagnostic.find("--phases"), std::string::npos)
+      << res.diagnostic;
+}
+
+// The same flag hygiene holds for the launcher-side binaries: every
+// example rejects a typo'd flag with exit code 2 and the valid-flag list.
+TEST(MultiProcess, ExampleRejectsUnknownFlags) {
+  const std::string cmd = std::string(SLIPFLOW_EXAMPLE_EXE) +
+                          " --ranks=1 --no-such-flag=1 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  char buf[256];
+  while (fgets(buf, sizeof buf, pipe) != nullptr) output += buf;
+  const int status = pclose(pipe);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2) << output;
+  EXPECT_NE(output.find("no-such-flag"), std::string::npos) << output;
+  EXPECT_NE(output.find("valid flags"), std::string::npos) << output;
+  EXPECT_NE(output.find("--ranks"), std::string::npos) << output;
 }

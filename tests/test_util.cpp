@@ -6,6 +6,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/json.hpp"
 #include "util/options.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
@@ -249,4 +250,128 @@ TEST(Require, MessageContainsExpression) {
     EXPECT_NE(msg.find("1 == 2"), std::string::npos);
     EXPECT_NE(msg.find("custom detail 42"), std::string::npos);
   }
+}
+
+// --- JSON parser (util/json.hpp): the campaign server's job-spec
+// reader. Strict RFC 8259: every malformed input must throw json_error
+// with a byte offset, and dump() must be canonical (sorted keys,
+// deterministic number formatting) because the warm-state cache hashes
+// it as the physics key.
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(u::json_parse("null").is_null());
+  EXPECT_EQ(u::json_parse("true").as_bool(), true);
+  EXPECT_EQ(u::json_parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(u::json_parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(u::json_parse("\"hi\"").as_string(), "hi");
+  EXPECT_DOUBLE_EQ(u::json_parse("  42 ").as_number(), 42.0);
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const u::JsonValue v =
+      u::json_parse(R"({"a":[1,2,{"b":true}],"c":{"d":null},"e":"x"})");
+  ASSERT_TRUE(v.is_object());
+  const auto& a = v.find("a")->as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[0].as_number(), 1.0);
+  EXPECT_TRUE(a[2].find("b")->as_bool());
+  EXPECT_TRUE(v.find("c")->find("d")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const u::JsonValue v = u::json_parse(R"("a\"b\\c\n\t\u0041\u00e9")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(Json, SurrogatePairsDecodeToUtf8) {
+  // U+1F600 as a surrogate pair.
+  EXPECT_EQ(u::json_parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, DumpIsCanonical) {
+  // Same members, different order: identical canonical bytes — the
+  // property the warm-cache key relies on.
+  const std::string a = u::json_parse(R"({"b":1,"a":[true,null]})").dump();
+  const std::string b = u::json_parse(R"({"a":[true , null], "b": 1.0})").dump();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, R"({"a":[true,null],"b":1})");
+}
+
+TEST(Json, ConvenienceGettersWithDefaults) {
+  const u::JsonValue v = u::json_parse(R"({"n":3,"s":"x","b":true})");
+  EXPECT_EQ(v.int_or("n", 7), 3);
+  EXPECT_EQ(v.int_or("absent", 7), 7);
+  EXPECT_EQ(v.string_or("s", "d"), "x");
+  EXPECT_TRUE(v.bool_or("b", false));
+  // Present-but-wrong-kind throws naming the key, instead of silently
+  // returning the fallback.
+  EXPECT_THROW((void)v.int_or("s", 0), u::json_error);
+  EXPECT_THROW((void)v.string_or("n", ""), u::json_error);
+}
+
+TEST(Json, MalformedInputsThrowWithOffset) {
+  const char* bad[] = {
+      "",            // empty
+      "{",           // unterminated object
+      "[1,2",        // unterminated array
+      "[1,]",        // trailing comma
+      "{\"a\":}",    // missing value
+      "{\"a\" 1}",   // missing colon
+      "{a:1}",       // unquoted key
+      "\"abc",       // unterminated string
+      "01",          // leading zero
+      "1.",          // bare decimal point
+      "+1",          // explicit plus
+      "nul",         // truncated literal
+      "1 2",         // trailing garbage
+      "{\"a\":1,\"a\":2}",  // duplicate key
+      "\"\\x\"",     // bad escape
+      "\"\t\"",      // raw control char in string
+      "[1] extra",   // trailing token
+  };
+  for (const char* text : bad)
+    EXPECT_THROW((void)u::json_parse(text), u::json_error) << text;
+}
+
+TEST(Json, DepthCapStopsHostileNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_THROW((void)u::json_parse(deep, 64), u::json_error);
+  // ... but 3 levels under a cap of 4 are fine.
+  EXPECT_NO_THROW((void)u::json_parse("[[[1]]]", 4));
+}
+
+TEST(Json, HugeNumbersSaturateInsteadOfThrowing) {
+  EXPECT_TRUE(std::isinf(u::json_parse("1e999").as_number()));
+  EXPECT_TRUE(std::isinf(u::json_parse("-1e999").as_number()));
+}
+
+TEST(Json, ErrorCarriesByteOffset) {
+  try {
+    (void)u::json_parse("[1, x]");
+    FAIL() << "should have thrown";
+  } catch (const u::json_error& e) {
+    EXPECT_EQ(e.offset(), 4u);
+  }
+}
+
+TEST(Options, UnknownDiagnosticListsValidFlags) {
+  const char* argv[] = {"prog", "--good=1", "--typo=2"};
+  const auto opts = u::Options::parse(3, argv);
+  (void)opts.get("good", 0LL);
+  (void)opts.get("other", 0LL);
+  const std::string diag = opts.unknown_diagnostic();
+  EXPECT_NE(diag.find("--typo"), std::string::npos);
+  EXPECT_NE(diag.find("valid flags"), std::string::npos);
+  EXPECT_NE(diag.find("--good"), std::string::npos);
+  EXPECT_NE(diag.find("--other"), std::string::npos);
+}
+
+TEST(Options, UnknownDiagnosticEmptyWhenClean) {
+  const char* argv[] = {"prog", "--good=1"};
+  const auto opts = u::Options::parse(2, argv);
+  (void)opts.get("good", 0LL);
+  EXPECT_TRUE(opts.unknown_diagnostic().empty());
 }
